@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure driver exactly once under pytest-benchmark timing.
+
+    The drivers are full experiments (tens of simulated seconds each), so a
+    single round is the right granularity; pytest-benchmark still reports the
+    wall-clock cost of regenerating the figure.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

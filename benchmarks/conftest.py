@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Besides being
+timed by pytest-benchmark, each benchmark writes its result table to
+``benchmarks/results/<name>.txt`` so the numbers quoted in ``EXPERIMENTS.md``
+can be re-checked after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a figure's text table under ``benchmarks/results/``."""
+
+    def _save(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table + "\n")
+        print(f"\n{table}\n[saved to {path}]")
+
+    return _save
+

@@ -1,0 +1,38 @@
+"""Figure 8: latency per site while growing the number of connected clients.
+
+Paper reference: with 10% conflicts, CAESAR's latency stays steady as clients
+are added and it saturates latest; EPaxos' execution (dependency-graph
+analysis) slows it down as load grows; M2Paxos stops scaling earlier because
+of its forwarding mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import figure8_client_scaling
+
+from bench_utils import run_once
+
+CLIENT_COUNTS = (5, 50, 250, 500)
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_client_scaling(benchmark, save_result):
+    result = run_once(benchmark, figure8_client_scaling,
+                      client_counts=CLIENT_COUNTS,
+                      protocols=("caesar", "epaxos", "m2paxos"),
+                      duration_ms=4000.0, warmup_ms=1500.0)
+    save_result("figure8_client_scaling", result.table)
+
+    caesar = result.series["caesar"]
+    epaxos = result.series["epaxos"]
+    m2paxos = result.series["m2paxos"]
+
+    # Latency grows with load for every system once the CPU model saturates.
+    assert caesar[500] >= caesar[5] * 0.9
+    assert epaxos[500] >= epaxos[5] * 0.9
+    assert m2paxos[500] >= m2paxos[5] * 0.9
+    # At light load every protocol is within the WAN round-trip regime (< 400 ms).
+    for series in (caesar, epaxos, m2paxos):
+        assert series[5] < 400.0

@@ -1,0 +1,104 @@
+"""Protocol micro-benchmarks backing the quantities quoted in Section V-VI.
+
+These check the analytic properties the paper states rather than a plotted
+figure: quorum sizes for the five-node deployment, the two-communication-delay
+fast decision, the four-delay slow decision, and the relative cost of the
+protocols' message footprints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.command import Command
+from repro.consensus.quorums import QuorumSystem, epaxos_fast_quorum_size
+from repro.core.config import CaesarConfig
+from repro.harness.cluster import ClusterConfig, build_cluster
+from repro.sim.topology import ec2_five_sites
+
+from bench_utils import run_once
+
+
+def order_single_command(protocol: str, origin: int = 0, **options):
+    """Build a cluster, order one command from ``origin``, return (latency, cluster)."""
+    cluster = build_cluster(ClusterConfig(protocol=protocol, seed=5,
+                                          protocol_options=options))
+    command = Command(command_id=(origin, 0), key="bench", operation="put", value="v",
+                      origin=origin)
+    cluster.replica(origin).submit(command)
+    cluster.sim.run_until(lambda: cluster.all_executed([command.command_id]), deadline=30000)
+    latency = cluster.replica(origin).decisions[command.command_id].latency_ms
+    return latency, cluster
+
+
+@pytest.mark.benchmark(group="micro")
+def test_quorum_sizes_for_paper_deployment(benchmark):
+    quorums = run_once(benchmark, QuorumSystem.for_cluster, 5)
+    assert (quorums.classic, quorums.fast, quorums.f) == (3, 4, 2)
+    assert epaxos_fast_quorum_size(5) == 3
+
+
+@pytest.mark.benchmark(group="micro")
+def test_caesar_fast_decision_is_two_delays(benchmark):
+    """A CAESAR fast decision costs one round trip to the fast quorum (2 delays)."""
+    latency, _ = run_once(benchmark, order_single_command, "caesar")
+    topology = ec2_five_sites()
+    assert latency == pytest.approx(topology.quorum_latency(0, 4), rel=0.2)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_caesar_slow_decision_is_four_delays(benchmark):
+    """With the wait condition disabled, a rejected command needs two more delays."""
+
+    def run():
+        cluster = build_cluster(ClusterConfig(
+            protocol="caesar", seed=6,
+            protocol_options={"config": CaesarConfig(recovery_enabled=False,
+                                                     wait_condition_enabled=False)}))
+        # Two conflicting commands proposed simultaneously from the two farthest
+        # sites force at least one of them onto the retry path.
+        first = Command(command_id=(0, 0), key="hot", operation="put", value="a", origin=0)
+        second = Command(command_id=(4, 0), key="hot", operation="put", value="b", origin=4)
+        cluster.replica(0).submit(first)
+        cluster.replica(4).submit(second)
+        cluster.sim.run_until(
+            lambda: cluster.all_executed([first.command_id, second.command_id]),
+            deadline=30000)
+        return cluster
+
+    cluster = run_once(benchmark, run)
+    slow = sum(r.stats.slow_decisions for r in cluster.replicas)
+    fast = sum(r.stats.fast_decisions for r in cluster.replicas)
+    assert slow + fast == 2
+    retries = sum(r.stats.retries for r in cluster.replicas)
+    if slow:
+        assert retries >= 1
+
+
+@pytest.mark.benchmark(group="micro")
+def test_epaxos_fast_path_cheaper_quorum_than_caesar(benchmark):
+    """EPaxos contacts one node fewer, so its unloaded fast path is faster."""
+    caesar_latency, _ = order_single_command("caesar")
+    epaxos_latency, _ = run_once(benchmark, order_single_command, "epaxos")
+    assert epaxos_latency < caesar_latency
+
+
+@pytest.mark.benchmark(group="micro")
+def test_message_footprint_per_command(benchmark, save_result):
+    """Messages sent to order a single command, per protocol."""
+
+    def footprint():
+        counts = {}
+        for protocol in ("caesar", "epaxos", "multipaxos", "mencius", "m2paxos"):
+            _, cluster = order_single_command(protocol)
+            counts[protocol] = cluster.network.stats.messages_sent
+        return counts
+
+    counts = run_once(benchmark, footprint)
+    table = "\n".join(f"{name:>12}: {count:3d} messages for one command"
+                      for name, count in sorted(counts.items()))
+    save_result("micro_message_footprint", table)
+    # Multi-leader quorum protocols broadcast to everyone: at least 3N messages.
+    assert counts["caesar"] >= 15
+    # Multi-Paxos concentrates messages on the leader but still commits to all.
+    assert counts["multipaxos"] >= 9

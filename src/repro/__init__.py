@@ -1,0 +1,19 @@
+"""repro: a reproduction of CAESAR — "Speeding up Consensus by Chasing Fast Decisions".
+
+The package implements the CAESAR multi-leader Generalized Consensus protocol
+(:mod:`repro.core`), the four baseline protocols the paper compares against
+(:mod:`repro.baselines`), and everything needed to run them: a deterministic
+discrete-event wide-area simulator (:mod:`repro.sim`), a replicated key-value
+store (:mod:`repro.kvstore`), workload generators (:mod:`repro.workload`),
+metrics (:mod:`repro.metrics`), and an experiment harness that regenerates
+every figure of the paper's evaluation (:mod:`repro.harness`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.consensus.command import Command
+from repro.consensus.quorums import QuorumSystem
+from repro.core.caesar import CaesarReplica
+from repro.core.config import CaesarConfig
+
+__all__ = ["Command", "QuorumSystem", "CaesarReplica", "CaesarConfig", "__version__"]

@@ -1,0 +1,639 @@
+"""EPaxos: Egalitarian Paxos (Moraru et al., SOSP 2013).
+
+EPaxos is the closest competitor to CAESAR in the paper's evaluation.  Every
+replica can lead commands; a command's *attributes* are a dependency set
+(every interfering command the quorum knows about) and a sequence number.
+
+* **Fast path** (2 delays): the command leader pre-accepts the command with
+  its locally computed attributes; if a fast quorum replies with *identical*
+  attributes, the command commits immediately.  This is exactly the condition
+  CAESAR relaxes — any disagreement on dependencies forces EPaxos onto the
+  slow path.
+* **Slow path** (4 delays): the leader unions the replies' attributes and runs
+  a classic Paxos accept round before committing.
+* **Execution**: committed commands form a dependency graph; a command is
+  executed by finding strongly connected components of its transitive
+  dependency closure and executing them in reverse topological order,
+  breaking ties inside a component by sequence number.  The graph analysis is
+  the CPU cost the paper blames for EPaxos' degradation under high conflict
+  rates; it is charged to the replica's simulated CPU here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.command import Command, CommandId
+from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.quorums import QuorumSystem, epaxos_fast_quorum_size
+from repro.kvstore.state_machine import StateMachine
+from repro.sim.costs import CostModel
+from repro.sim.failures import FailureDetector, Heartbeat
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+#: An EPaxos instance is identified by ``(leader_replica, instance_number)``.
+InstanceId = Tuple[int, int]
+
+
+class InstanceStatus(enum.Enum):
+    """Lifecycle of an EPaxos instance on one replica."""
+
+    PRE_ACCEPTED = "pre-accepted"
+    ACCEPTED = "accepted"
+    COMMITTED = "committed"
+    EXECUTED = "executed"
+    NOOP = "noop"
+
+
+@dataclass
+class Instance:
+    """A replica's knowledge about one EPaxos instance."""
+
+    instance_id: InstanceId
+    command: Optional[Command]
+    seq: int
+    deps: Set[InstanceId]
+    status: InstanceStatus
+    ballot: Ballot
+
+
+# --------------------------------------------------------------------- wire
+
+
+@dataclass(frozen=True)
+class PreAccept:
+    """Leader -> replicas: phase-1 proposal with locally computed attributes."""
+
+    instance_id: InstanceId
+    command: Command
+    seq: int
+    deps: FrozenSet[InstanceId]
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class PreAcceptReply:
+    """Replica -> leader: possibly augmented attributes."""
+
+    instance_id: InstanceId
+    seq: int
+    deps: FrozenSet[InstanceId]
+    ballot: Ballot
+    changed: bool
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Leader -> replicas: slow-path accept with unioned attributes."""
+
+    instance_id: InstanceId
+    command: Command
+    seq: int
+    deps: FrozenSet[InstanceId]
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class AcceptReply:
+    """Replica -> leader: slow-path acknowledgement."""
+
+    instance_id: InstanceId
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Leader -> replicas: final attributes of a committed instance."""
+
+    instance_id: InstanceId
+    command: Optional[Command]
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Recovery prepare for an instance whose leader is suspected."""
+
+    instance_id: InstanceId
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class PrepareReply:
+    """Reply to a recovery prepare with the replica's current instance state."""
+
+    instance_id: InstanceId
+    ballot: Ballot
+    known: bool
+    command: Optional[Command] = None
+    seq: int = 0
+    deps: FrozenSet[InstanceId] = frozenset()
+    status: Optional[str] = None
+
+
+@dataclass
+class _LeaderState:
+    """Book-keeping the command leader keeps for an in-flight instance."""
+
+    instance_id: InstanceId
+    command: Command
+    phase: str  # "preaccept" | "accept" | "done"
+    seq: int
+    deps: Set[InstanceId]
+    original_seq: int
+    original_deps: Set[InstanceId]
+    ballot: Ballot
+    replies: Dict[int, object] = field(default_factory=dict)
+    went_slow: bool = False
+    started_at: float = 0.0
+
+
+@dataclass
+class _RecoveryState:
+    """Book-keeping for a recovery (explicit prepare) attempt."""
+
+    instance_id: InstanceId
+    ballot: Ballot
+    replies: Dict[int, PrepareReply] = field(default_factory=dict)
+    dispatched: bool = False
+
+
+@dataclass
+class EPaxosStats:
+    """Counters surfaced to the harness (fast/slow path ratio for Figure 10)."""
+
+    fast_decisions: int = 0
+    slow_decisions: int = 0
+    graph_nodes_visited: int = 0
+    recoveries: int = 0
+
+
+class EPaxosReplica(ConsensusReplica):
+    """An EPaxos replica on the simulated substrate.
+
+    Args:
+        node_id: replica index.
+        sim / network / quorums / state_machine / cost_model: shared substrate.
+        recovery_enabled: whether to run the failure detector and explicit
+            prepare when a peer is suspected.
+    """
+
+    protocol_name = "epaxos"
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                 state_machine: StateMachine, cost_model: Optional[CostModel] = None,
+                 recovery_enabled: bool = True, heartbeat_every_ms: float = 100.0,
+                 suspect_after_ms: float = 600.0) -> None:
+        super().__init__(node_id, sim, network, quorums, state_machine, cost_model)
+        self.instances: Dict[InstanceId, Instance] = {}
+        self._conflict_index: Dict[str, Set[InstanceId]] = {}
+        self._leader_states: Dict[InstanceId, _LeaderState] = {}
+        self._recoveries: Dict[InstanceId, _RecoveryState] = {}
+        self._next_instance = 0
+        self._executed: Set[InstanceId] = set()
+        self._unexecuted_committed: Set[InstanceId] = set()
+        self._command_instance: Dict[CommandId, InstanceId] = {}
+        self.fast_quorum = epaxos_fast_quorum_size(quorums.n)
+        self.stats = EPaxosStats()
+        self.recovery_enabled = recovery_enabled
+        self.heartbeat_every_ms = heartbeat_every_ms
+        self.suspect_after_ms = suspect_after_ms
+        self.failure_detector: Optional[FailureDetector] = None
+
+    # --------------------------------------------------------------- startup
+
+    def start(self) -> None:
+        """Start the failure detector (needed only for crash experiments)."""
+        if self.recovery_enabled:
+            self.failure_detector = FailureDetector(
+                owner=self, peer_ids=self.network.node_ids,
+                heartbeat_every_ms=self.heartbeat_every_ms,
+                suspect_after_ms=self.suspect_after_ms,
+                on_suspect=self._on_suspect)
+            self.failure_detector.start()
+
+    # ----------------------------------------------------------- client path
+
+    def propose(self, command: Command) -> None:
+        """Lead a new instance for ``command`` (phase 1, PreAccept)."""
+        instance_id = (self.node_id, self._next_instance)
+        self._next_instance += 1
+        deps = self._interfering_instances(command, exclude=instance_id)
+        seq = self._next_seq(deps)
+        self.consume_cpu(self.cost_model.dependency_cost(len(deps)))
+        instance = Instance(instance_id=instance_id, command=command, seq=seq,
+                            deps=set(deps), status=InstanceStatus.PRE_ACCEPTED,
+                            ballot=Ballot.initial(self.node_id))
+        self._record_instance(instance)
+        self._command_instance[command.command_id] = instance_id
+        state = _LeaderState(instance_id=instance_id, command=command, phase="preaccept",
+                             seq=seq, deps=set(deps), original_seq=seq,
+                             original_deps=set(deps), ballot=instance.ballot,
+                             started_at=self.sim.now)
+        self._leader_states[instance_id] = state
+        self.broadcast(PreAccept(instance_id=instance_id, command=command, seq=seq,
+                                 deps=frozenset(deps), ballot=instance.ballot),
+                       include_self=False, size_bytes=64 + command.payload_size)
+
+    # --------------------------------------------------------------- helpers
+
+    def _interfering_instances(self, command: Command, exclude: InstanceId) -> Set[InstanceId]:
+        """Instances known locally whose command conflicts with ``command``."""
+        result: Set[InstanceId] = set()
+        for instance_id in self._conflict_index.get(command.key, ()):  # same key
+            if instance_id == exclude:
+                continue
+            instance = self.instances[instance_id]
+            if instance.command is not None and instance.command.conflicts_with(command):
+                result.add(instance_id)
+        return result
+
+    def _next_seq(self, deps: Set[InstanceId]) -> int:
+        """1 + the maximum sequence number among the dependencies."""
+        max_seq = 0
+        for dep in deps:
+            instance = self.instances.get(dep)
+            if instance is not None and instance.seq > max_seq:
+                max_seq = instance.seq
+        return max_seq + 1
+
+    def _record_instance(self, instance: Instance) -> None:
+        """Store an instance and index it for conflict lookups."""
+        self.instances[instance.instance_id] = instance
+        if instance.command is not None:
+            self._conflict_index.setdefault(instance.command.key, set()).add(instance.instance_id)
+            self._command_instance.setdefault(instance.command.command_id, instance.instance_id)
+
+    # ------------------------------------------------------ message handling
+
+    def handle_message(self, src: int, message: object) -> None:
+        """Dispatch an incoming EPaxos message."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_any_message(src)
+        if isinstance(message, Heartbeat):
+            if self.failure_detector is not None:
+                self.failure_detector.observe_heartbeat(message)
+            return
+        if isinstance(message, PreAccept):
+            self._on_pre_accept(src, message)
+        elif isinstance(message, PreAcceptReply):
+            self._on_pre_accept_reply(src, message)
+        elif isinstance(message, Accept):
+            self._on_accept(src, message)
+        elif isinstance(message, AcceptReply):
+            self._on_accept_reply(src, message)
+        elif isinstance(message, Commit):
+            self._on_commit(src, message)
+        elif isinstance(message, Prepare):
+            self._on_prepare(src, message)
+        elif isinstance(message, PrepareReply):
+            self._on_prepare_reply(src, message)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+
+    # phase 1 -----------------------------------------------------------------
+
+    def _on_pre_accept(self, src: int, message: PreAccept) -> None:
+        """Replica side of PreAccept: augment attributes with local knowledge."""
+        existing = self.instances.get(message.instance_id)
+        if existing is not None and existing.status in (InstanceStatus.COMMITTED,
+                                                        InstanceStatus.EXECUTED):
+            return
+        if existing is not None and existing.ballot > message.ballot:
+            return
+        deps = set(message.deps) | self._interfering_instances(message.command,
+                                                               exclude=message.instance_id)
+        seq = max(message.seq, self._next_seq(deps))
+        self.consume_cpu(self.cost_model.dependency_cost(len(deps)))
+        changed = deps != set(message.deps) or seq != message.seq
+        instance = Instance(instance_id=message.instance_id, command=message.command,
+                            seq=seq, deps=deps, status=InstanceStatus.PRE_ACCEPTED,
+                            ballot=message.ballot)
+        self._record_instance(instance)
+        self.send(src, PreAcceptReply(instance_id=message.instance_id, seq=seq,
+                                      deps=frozenset(deps), ballot=message.ballot,
+                                      changed=changed))
+
+    def _on_pre_accept_reply(self, src: int, message: PreAcceptReply) -> None:
+        """Leader side of phase 1: decide between the fast and slow paths."""
+        state = self._leader_states.get(message.instance_id)
+        if state is None or state.phase != "preaccept" or state.ballot != message.ballot:
+            return
+        state.replies[src] = message
+        # The leader itself counts towards the fast quorum.
+        if len(state.replies) + 1 < self.fast_quorum:
+            return
+        replies = list(state.replies.values())
+        unchanged = all(not reply.changed and
+                        set(reply.deps) == state.original_deps and
+                        reply.seq == state.original_seq
+                        for reply in replies)
+        if unchanged:
+            self._commit_instance(state, state.original_seq, state.original_deps, fast=True)
+        else:
+            merged_deps: Set[InstanceId] = set(state.original_deps)
+            merged_seq = state.original_seq
+            for reply in replies:
+                merged_deps |= set(reply.deps)
+                merged_seq = max(merged_seq, reply.seq)
+            state.seq = merged_seq
+            state.deps = merged_deps
+            state.phase = "accept"
+            state.went_slow = True
+            state.replies = {}
+            instance = self.instances[state.instance_id]
+            instance.seq = merged_seq
+            instance.deps = set(merged_deps)
+            instance.status = InstanceStatus.ACCEPTED
+            self.broadcast(Accept(instance_id=state.instance_id, command=state.command,
+                                  seq=merged_seq, deps=frozenset(merged_deps),
+                                  ballot=state.ballot),
+                           include_self=False, size_bytes=64 + state.command.payload_size)
+
+    # phase 2 (slow path) -----------------------------------------------------
+
+    def _on_accept(self, src: int, message: Accept) -> None:
+        """Replica side of the slow-path accept."""
+        existing = self.instances.get(message.instance_id)
+        if existing is not None and existing.ballot > message.ballot:
+            return
+        if existing is not None and existing.status in (InstanceStatus.COMMITTED,
+                                                        InstanceStatus.EXECUTED):
+            return
+        instance = Instance(instance_id=message.instance_id, command=message.command,
+                            seq=message.seq, deps=set(message.deps),
+                            status=InstanceStatus.ACCEPTED, ballot=message.ballot)
+        self._record_instance(instance)
+        self.send(src, AcceptReply(instance_id=message.instance_id, ballot=message.ballot))
+
+    def _on_accept_reply(self, src: int, message: AcceptReply) -> None:
+        """Leader side of the slow-path accept: commit on a classic quorum."""
+        state = self._leader_states.get(message.instance_id)
+        if state is None or state.phase != "accept" or state.ballot != message.ballot:
+            return
+        state.replies[src] = message
+        if len(state.replies) + 1 < self.quorums.classic:
+            return
+        self._commit_instance(state, state.seq, state.deps, fast=False)
+
+    # commit & execution ------------------------------------------------------
+
+    def _commit_instance(self, state: _LeaderState, seq: int, deps: Set[InstanceId],
+                         fast: bool) -> None:
+        """Finalize an instance at the leader and broadcast the commit."""
+        state.phase = "done"
+        if fast:
+            self.stats.fast_decisions += 1
+            kind = DecisionKind.FAST
+        else:
+            self.stats.slow_decisions += 1
+            kind = DecisionKind.SLOW
+        command_id = state.command.command_id
+        self.record_decided(command_id, kind)
+        self.record_phase_time(command_id, "propose", self.sim.now - state.started_at)
+        instance = self.instances[state.instance_id]
+        instance.seq = seq
+        instance.deps = set(deps)
+        instance.status = InstanceStatus.COMMITTED
+        self._unexecuted_committed.add(state.instance_id)
+        self.broadcast(Commit(instance_id=state.instance_id, command=state.command,
+                              seq=seq, deps=frozenset(deps)),
+                       include_self=False, size_bytes=64 + state.command.payload_size)
+        self._try_execute()
+
+    def _on_commit(self, src: int, message: Commit) -> None:
+        """Replica side of commit: record final attributes and try to execute."""
+        instance = self.instances.get(message.instance_id)
+        if instance is None:
+            instance = Instance(instance_id=message.instance_id, command=message.command,
+                                seq=message.seq, deps=set(message.deps),
+                                status=InstanceStatus.COMMITTED,
+                                ballot=Ballot.initial(message.instance_id[0]))
+            self._record_instance(instance)
+        else:
+            if instance.status is InstanceStatus.EXECUTED:
+                return
+            instance.command = instance.command or message.command
+            instance.seq = message.seq
+            instance.deps = set(message.deps)
+            instance.status = InstanceStatus.COMMITTED
+        self._unexecuted_committed.add(message.instance_id)
+        self._try_execute()
+
+    def _try_execute(self) -> None:
+        """Execute every committed instance whose dependency closure is committed.
+
+        Implements EPaxos' graph-based execution: strongly connected
+        components of the committed dependency graph are executed in reverse
+        topological order, commands inside a component by sequence number.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for instance_id in list(self._unexecuted_committed):
+                if instance_id in self._executed:
+                    self._unexecuted_committed.discard(instance_id)
+                    continue
+                component_order = self._execution_order(instance_id)
+                if component_order is None:
+                    continue
+                for ready_id in component_order:
+                    ready = self.instances[ready_id]
+                    if ready_id in self._executed:
+                        continue
+                    self._executed.add(ready_id)
+                    self._unexecuted_committed.discard(ready_id)
+                    ready.status = InstanceStatus.EXECUTED
+                    if ready.command is not None:
+                        self.execute_command(ready.command)
+                progress = True
+
+    def _execution_order(self, root: InstanceId) -> Optional[List[InstanceId]]:
+        """Iterative Tarjan SCC over the committed closure of ``root``.
+
+        Returns the execution order (dependencies first), or ``None`` when the
+        closure still contains an uncommitted instance, in which case the root
+        cannot be executed yet.
+        """
+        order: List[InstanceId] = []
+        index: Dict[InstanceId, int] = {}
+        lowlink: Dict[InstanceId, int] = {}
+        on_stack: Set[InstanceId] = set()
+        stack: List[InstanceId] = []
+        counter = 0
+        visited_count = 0
+
+        # Each frame is (node, iterator over deps, last child visited).
+        work: List[list] = [[root, None, None]]
+        while work:
+            frame = work[-1]
+            node, dep_iter, last_child = frame
+            if dep_iter is None:
+                instance = self.instances.get(node)
+                if instance is None or instance.status in (InstanceStatus.PRE_ACCEPTED,
+                                                           InstanceStatus.ACCEPTED):
+                    self.stats.graph_nodes_visited += visited_count
+                    self.consume_cpu(self.cost_model.dependency_cost(visited_count))
+                    return None
+                index[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+                visited_count += 1
+                if instance.status is InstanceStatus.EXECUTED:
+                    frame[1] = iter(())
+                else:
+                    frame[1] = iter(sorted(instance.deps))
+                dep_iter = frame[1]
+            if last_child is not None:
+                lowlink[node] = min(lowlink[node], lowlink[last_child])
+                frame[2] = None
+            advanced = False
+            for dep in dep_iter:
+                if dep in self._executed:
+                    continue
+                if dep not in index:
+                    frame[2] = dep
+                    work.append([dep, None, None])
+                    advanced = True
+                    break
+                if dep in on_stack:
+                    lowlink[node] = min(lowlink[node], index[dep])
+            if advanced:
+                continue
+            # Node finished: pop its SCC if it is a root.
+            if lowlink[node] == index[node]:
+                component: List[InstanceId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                component.sort(key=lambda iid: (self.instances[iid].seq, iid))
+                order.extend(member for member in component if member not in self._executed)
+            work.pop()
+            if work:
+                work[-1][2] = node
+
+        self.stats.graph_nodes_visited += visited_count
+        self.consume_cpu(self.cost_model.dependency_cost(visited_count))
+        return order
+
+    # recovery ---------------------------------------------------------------
+
+    def _on_suspect(self, peer: int) -> None:
+        """Recover instances led by a suspected replica via explicit prepare."""
+        if not self.recovery_enabled:
+            return
+        alive_lower = sum(1 for node_id in self.network.node_ids
+                          if node_id < self.node_id and node_id != peer)
+        delay = 50.0 * (1 + alive_lower)
+        self.set_timer(delay, lambda: self._recover_instances_of(peer))
+
+    def _recover_instances_of(self, peer: int) -> None:
+        for instance_id, instance in list(self.instances.items()):
+            if instance_id[0] != peer:
+                continue
+            if instance.status in (InstanceStatus.COMMITTED, InstanceStatus.EXECUTED):
+                continue
+            self.stats.recoveries += 1
+            ballot = instance.ballot.next_for(self.node_id)
+            instance.ballot = ballot
+            self._recoveries[instance_id] = _RecoveryState(instance_id=instance_id, ballot=ballot)
+            self.broadcast(Prepare(instance_id=instance_id, ballot=ballot), include_self=False)
+
+    def _on_prepare(self, src: int, message: Prepare) -> None:
+        instance = self.instances.get(message.instance_id)
+        if instance is None:
+            reply = PrepareReply(instance_id=message.instance_id, ballot=message.ballot,
+                                 known=False)
+        else:
+            if instance.ballot > message.ballot:
+                return
+            instance.ballot = message.ballot
+            reply = PrepareReply(instance_id=message.instance_id, ballot=message.ballot,
+                                 known=True, command=instance.command, seq=instance.seq,
+                                 deps=frozenset(instance.deps), status=instance.status.value)
+        self.send(src, reply)
+
+    def _on_prepare_reply(self, src: int, message: PrepareReply) -> None:
+        recovery = self._recoveries.get(message.instance_id)
+        if recovery is None or recovery.dispatched or recovery.ballot != message.ballot:
+            return
+        recovery.replies[src] = message
+        if len(recovery.replies) + 1 < self.quorums.classic:
+            return
+        recovery.dispatched = True
+        known = [reply for reply in recovery.replies.values() if reply.known]
+        local = self.instances.get(message.instance_id)
+        committed = [r for r in known if r.status in (InstanceStatus.COMMITTED.value,
+                                                      InstanceStatus.EXECUTED.value)]
+        accepted = [r for r in known if r.status == InstanceStatus.ACCEPTED.value]
+        pre_accepted = [r for r in known if r.status == InstanceStatus.PRE_ACCEPTED.value]
+        if committed:
+            chosen = committed[0]
+            self._adopt_commit(message.instance_id, chosen.command, chosen.seq, set(chosen.deps))
+        elif accepted or pre_accepted or (local is not None and local.command is not None):
+            source = (accepted or pre_accepted)
+            if source:
+                command = source[0].command
+                seq = max(r.seq for r in source)
+                deps: Set[InstanceId] = set()
+                for r in source:
+                    deps |= set(r.deps)
+            else:
+                command = local.command
+                seq = local.seq
+                deps = set(local.deps)
+            state = _LeaderState(instance_id=message.instance_id, command=command,
+                                 phase="accept", seq=seq, deps=deps, original_seq=seq,
+                                 original_deps=set(deps), ballot=recovery.ballot,
+                                 went_slow=True, started_at=self.sim.now)
+            self._leader_states[message.instance_id] = state
+            instance = Instance(instance_id=message.instance_id, command=command, seq=seq,
+                                deps=set(deps), status=InstanceStatus.ACCEPTED,
+                                ballot=recovery.ballot)
+            self._record_instance(instance)
+            self.broadcast(Accept(instance_id=message.instance_id, command=command, seq=seq,
+                                  deps=frozenset(deps), ballot=recovery.ballot),
+                           include_self=False)
+        else:
+            # Nobody knows the command: commit a no-op so execution is never blocked.
+            self._adopt_commit(message.instance_id, None, 0, set())
+
+    def _adopt_commit(self, instance_id: InstanceId, command: Optional[Command], seq: int,
+                      deps: Set[InstanceId]) -> None:
+        """Record and re-broadcast a commit learned during recovery."""
+        instance = self.instances.get(instance_id)
+        if instance is None:
+            instance = Instance(instance_id=instance_id, command=command, seq=seq,
+                                deps=set(deps), status=InstanceStatus.COMMITTED,
+                                ballot=Ballot.initial(instance_id[0]))
+            self._record_instance(instance)
+        else:
+            instance.command = instance.command or command
+            instance.seq = seq
+            instance.deps = set(deps)
+            if instance.status is not InstanceStatus.EXECUTED:
+                instance.status = InstanceStatus.COMMITTED
+        if instance.status is InstanceStatus.COMMITTED:
+            self._unexecuted_committed.add(instance_id)
+        self.broadcast(Commit(instance_id=instance_id, command=command, seq=seq,
+                              deps=frozenset(deps)), include_self=False)
+        self._try_execute()
+
+    # telemetry ---------------------------------------------------------------
+
+    def slow_path_ratio(self) -> Optional[float]:
+        """Fraction of locally proposed, completed commands decided on the slow path."""
+        ratio = self.fast_path_ratio()
+        if ratio is None:
+            return None
+        return 1.0 - ratio

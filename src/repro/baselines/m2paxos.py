@@ -1,0 +1,306 @@
+"""M2Paxos: ownership-based multi-leader Generalized Consensus (DSN 2016).
+
+M2Paxos partitions the command space by key: each key has (at most) one
+*owner* replica, and only the owner orders commands on that key.  A command
+on an owned key needs a single accept round on a classic quorum (2 delays).
+A command on a key owned by another replica is *forwarded* to the owner,
+adding a wide-area hop — the effect the paper blames for M2Paxos' degradation
+as the conflict rate grows (conflicting commands all hit the same shared keys
+and most replicas are not their owners).  A command on an un-owned key first
+runs an ownership-acquisition round, then the accept round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.command import Command, CommandId
+from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.quorums import QuorumSystem
+from repro.kvstore.state_machine import StateMachine
+from repro.sim.costs import CostModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+#: A per-key log position is identified by ``(key, index)``.
+KeySlot = Tuple[str, int]
+
+
+# --------------------------------------------------------------------- wire
+
+
+@dataclass(frozen=True)
+class AcquireOwnership:
+    """Requester -> all: ask to become the owner of ``key`` at ``epoch``."""
+
+    key: str
+    epoch: int
+    requester: int
+
+
+@dataclass(frozen=True)
+class AcquireReply:
+    """Voter -> requester: grant or refuse the ownership request."""
+
+    key: str
+    epoch: int
+    granted: bool
+    current_owner: Optional[int]
+
+
+@dataclass(frozen=True)
+class ForwardCommand:
+    """Non-owner -> owner: please order this command on your key."""
+
+    command: Command
+
+
+@dataclass(frozen=True)
+class AcceptCommand:
+    """Owner -> all: accept ``command`` at per-key position ``index``."""
+
+    key: str
+    index: int
+    command: Command
+    owner: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class AcceptCommandReply:
+    """Replica -> owner: acknowledgement of a per-key accept."""
+
+    key: str
+    index: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class DecideCommand:
+    """Owner -> all: the command at ``(key, index)`` is decided."""
+
+    key: str
+    index: int
+    command: Command
+    owner: int
+    epoch: int
+
+
+@dataclass
+class _PendingAccept:
+    """Owner-side bookkeeping for an in-flight per-key accept round."""
+
+    key: str
+    index: int
+    command: Command
+    epoch: int
+    acks: Set[int] = field(default_factory=set)
+    decided: bool = False
+
+
+@dataclass
+class _PendingAcquire:
+    """Requester-side bookkeeping for an ownership-acquisition round."""
+
+    key: str
+    epoch: int
+    grants: Set[int] = field(default_factory=set)
+    refusals: Set[int] = field(default_factory=set)
+    queued: List[Command] = field(default_factory=list)
+    done: bool = False
+
+
+@dataclass
+class M2PaxosStats:
+    """Counters surfaced to the harness."""
+
+    commands_forwarded: int = 0
+    acquisitions: int = 0
+    acquisition_failures: int = 0
+    local_decisions: int = 0
+
+
+class M2PaxosReplica(ConsensusReplica):
+    """An M2Paxos replica on the simulated substrate."""
+
+    protocol_name = "m2paxos"
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                 state_machine: StateMachine, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(node_id, sim, network, quorums, state_machine, cost_model)
+        self.owners: Dict[str, int] = {}
+        self.epochs: Dict[str, int] = {}
+        self._next_index: Dict[str, int] = {}
+        self._pending_accepts: Dict[KeySlot, _PendingAccept] = {}
+        self._pending_acquires: Dict[str, _PendingAcquire] = {}
+        self._decided: Dict[KeySlot, Command] = {}
+        self._next_execute: Dict[str, int] = {}
+        self.stats = M2PaxosStats()
+
+    # ----------------------------------------------------------- client path
+
+    def propose(self, command: Command) -> None:
+        """Order a command: locally if owner, via acquisition or forwarding otherwise."""
+        key = command.key
+        owner = self.owners.get(key)
+        if owner == self.node_id:
+            self._lead(command)
+        elif owner is None:
+            self._acquire_then_lead(command)
+        else:
+            self.stats.commands_forwarded += 1
+            self.send(owner, ForwardCommand(command=command),
+                      size_bytes=64 + command.payload_size)
+
+    def _lead(self, command: Command) -> None:
+        """Owner path: one accept round on a classic quorum."""
+        key = command.key
+        index = self._next_index.get(key, 0)
+        self._next_index[key] = index + 1
+        self.stats.local_decisions += 1
+        epoch = self.epochs.get(key, 0)
+        pending = _PendingAccept(key=key, index=index, command=command, epoch=epoch)
+        pending.acks.add(self.node_id)
+        self._pending_accepts[(key, index)] = pending
+        self.broadcast(AcceptCommand(key=key, index=index, command=command,
+                                     owner=self.node_id, epoch=epoch),
+                       include_self=False, size_bytes=64 + command.payload_size)
+
+    def _acquire_then_lead(self, command: Command) -> None:
+        """No owner known: run an ownership-acquisition round, queueing the command."""
+        key = command.key
+        pending = self._pending_acquires.get(key)
+        if pending is not None and not pending.done:
+            pending.queued.append(command)
+            return
+        epoch = self.epochs.get(key, 0) + 1
+        self.epochs[key] = epoch
+        self.stats.acquisitions += 1
+        pending = _PendingAcquire(key=key, epoch=epoch, queued=[command])
+        pending.grants.add(self.node_id)
+        self._pending_acquires[key] = pending
+        self.broadcast(AcquireOwnership(key=key, epoch=epoch, requester=self.node_id),
+                       include_self=False)
+
+    # ------------------------------------------------------ message handling
+
+    def handle_message(self, src: int, message: object) -> None:
+        """Dispatch an incoming M2Paxos message."""
+        if isinstance(message, AcquireOwnership):
+            self._on_acquire(src, message)
+        elif isinstance(message, AcquireReply):
+            self._on_acquire_reply(src, message)
+        elif isinstance(message, ForwardCommand):
+            self._on_forward(src, message)
+        elif isinstance(message, AcceptCommand):
+            self._on_accept(src, message)
+        elif isinstance(message, AcceptCommandReply):
+            self._on_accept_reply(src, message)
+        elif isinstance(message, DecideCommand):
+            self._on_decide(src, message)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+
+    # ownership ---------------------------------------------------------------
+
+    def _on_acquire(self, src: int, message: AcquireOwnership) -> None:
+        """Vote on an ownership request: grant newer epochs for unowned/loser keys."""
+        key = message.key
+        current_epoch = self.epochs.get(key, 0)
+        if message.epoch > current_epoch:
+            self.epochs[key] = message.epoch
+            self.owners[key] = message.requester
+            self.send(src, AcquireReply(key=key, epoch=message.epoch, granted=True,
+                                        current_owner=message.requester))
+        else:
+            self.send(src, AcquireReply(key=key, epoch=message.epoch, granted=False,
+                                        current_owner=self.owners.get(key)))
+
+    def _on_acquire_reply(self, src: int, message: AcquireReply) -> None:
+        """Requester: become owner on a majority of grants, otherwise forward."""
+        pending = self._pending_acquires.get(message.key)
+        if pending is None or pending.done or pending.epoch != message.epoch:
+            return
+        if message.granted:
+            pending.grants.add(src)
+        else:
+            pending.refusals.add(src)
+        if len(pending.grants) >= self.quorums.classic:
+            pending.done = True
+            self.owners[message.key] = self.node_id
+            for command in pending.queued:
+                self._lead(command)
+            return
+        if len(pending.refusals) > self.quorums.n - self.quorums.classic:
+            # Majority can no longer be reached: someone else owns the key.
+            pending.done = True
+            self.stats.acquisition_failures += 1
+            owner = message.current_owner
+            for command in pending.queued:
+                if owner is not None and owner != self.node_id:
+                    self.owners[message.key] = owner
+                    self.stats.commands_forwarded += 1
+                    self.send(owner, ForwardCommand(command=command))
+                else:
+                    # Retry the acquisition with a higher epoch.
+                    self._acquire_then_lead(command)
+
+    def _on_forward(self, src: int, message: ForwardCommand) -> None:
+        """Owner side of forwarding: order the command as if proposed locally."""
+        key = message.command.key
+        owner = self.owners.get(key)
+        if owner == self.node_id:
+            self._lead(message.command)
+        elif owner is None:
+            self._acquire_then_lead(message.command)
+        else:
+            self.send(owner, ForwardCommand(command=message.command))
+
+    # ordering ----------------------------------------------------------------
+
+    def _on_accept(self, src: int, message: AcceptCommand) -> None:
+        """Replica side of a per-key accept: record the owner and acknowledge."""
+        current_epoch = self.epochs.get(message.key, 0)
+        if message.epoch < current_epoch:
+            return
+        self.epochs[message.key] = message.epoch
+        self.owners[message.key] = message.owner
+        self.send(src, AcceptCommandReply(key=message.key, index=message.index,
+                                          epoch=message.epoch))
+
+    def _on_accept_reply(self, src: int, message: AcceptCommandReply) -> None:
+        """Owner: decide once a classic quorum acknowledged the accept."""
+        pending = self._pending_accepts.get((message.key, message.index))
+        if pending is None or pending.decided or pending.epoch != message.epoch:
+            return
+        pending.acks.add(src)
+        if len(pending.acks) < self.quorums.classic:
+            return
+        pending.decided = True
+        self.record_decided(pending.command.command_id, DecisionKind.FAST)
+        self.broadcast(DecideCommand(key=pending.key, index=pending.index,
+                                     command=pending.command, owner=self.node_id,
+                                     epoch=pending.epoch),
+                       size_bytes=64 + pending.command.payload_size)
+
+    def _on_decide(self, src: int, message: DecideCommand) -> None:
+        """Every replica: record the decision and execute the per-key log in order."""
+        self.owners[message.key] = message.owner
+        if message.epoch > self.epochs.get(message.key, 0):
+            self.epochs[message.key] = message.epoch
+        self._decided[(message.key, message.index)] = message.command
+        if message.index >= self._next_index.get(message.key, 0):
+            self._next_index[message.key] = message.index + 1
+        self._execute_ready(message.key)
+
+    def _execute_ready(self, key: str) -> None:
+        """Execute decided commands of ``key`` contiguously by index."""
+        index = self._next_execute.get(key, 0)
+        while (key, index) in self._decided:
+            command = self._decided[(key, index)]
+            if not self.has_executed(command.command_id):
+                self.execute_command(command)
+            index += 1
+        self._next_execute[key] = index

@@ -1,0 +1,306 @@
+"""Multi-Paxos: single designated leader, totally ordered log.
+
+The deployment model follows the paper's evaluation (Figure 7): one replica
+is the designated leader (Ireland or Mumbai in the paper); clients submit
+commands to their local replica, which forwards them to the leader; the
+leader assigns consecutive log slots and replicates each slot with one accept
+round to a majority; commits are broadcast and every replica executes the log
+in slot order.  The client's latency therefore includes the forwarding hop
+when it is not co-located with the leader — exactly the effect the paper
+highlights when the leader is far away.
+
+A minimal leader re-election (lowest live replica takes over after the
+failure detector suspects the leader, re-proposing unchosen slots it knows
+about) is included so the protocol keeps making progress in crash tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.command import Command, CommandId
+from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.quorums import QuorumSystem
+from repro.kvstore.state_machine import StateMachine
+from repro.sim.costs import CostModel
+from repro.sim.failures import FailureDetector, Heartbeat
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+# --------------------------------------------------------------------- wire
+
+
+@dataclass(frozen=True)
+class ClientForward:
+    """Non-leader replica -> leader: please order this client command."""
+
+    command: Command
+
+
+@dataclass(frozen=True)
+class AcceptSlot:
+    """Leader -> replicas: accept ``command`` in log position ``slot``."""
+
+    slot: int
+    command: Command
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class AcceptSlotReply:
+    """Replica -> leader: acknowledgement of an accepted slot."""
+
+    slot: int
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class CommitSlot:
+    """Leader -> replicas: ``slot`` is chosen; execute in log order."""
+
+    slot: int
+    command: Command
+
+
+@dataclass(frozen=True)
+class LeaderPrepare:
+    """New leader -> replicas: prepare for take-over with a higher ballot."""
+
+    ballot: Ballot
+    from_slot: int
+
+
+@dataclass(frozen=True)
+class LeaderPrepareReply:
+    """Replica -> new leader: accepted-but-uncommitted slots plus its log frontier."""
+
+    ballot: Ballot
+    accepted: tuple  # tuple of (slot, command)
+    highest_slot: int = -1
+
+
+@dataclass
+class _SlotState:
+    """Leader-side bookkeeping for an in-flight slot."""
+
+    slot: int
+    command: Command
+    ballot: Ballot
+    acks: Set[int] = field(default_factory=set)
+    committed: bool = False
+
+
+@dataclass
+class MultiPaxosStats:
+    """Counters surfaced to the harness."""
+
+    commands_forwarded: int = 0
+    slots_proposed: int = 0
+    slots_committed: int = 0
+    elections: int = 0
+
+
+class MultiPaxosReplica(ConsensusReplica):
+    """A Multi-Paxos replica.
+
+    Args:
+        leader_id: index of the designated leader replica (defaults to 0; the
+            Figure 7 experiments use the Ireland or Mumbai site).
+        recovery_enabled: run a failure detector and elect a new leader when
+            the current one is suspected.
+    """
+
+    protocol_name = "multipaxos"
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                 state_machine: StateMachine, cost_model: Optional[CostModel] = None,
+                 leader_id: int = 0, recovery_enabled: bool = True,
+                 heartbeat_every_ms: float = 100.0, suspect_after_ms: float = 600.0) -> None:
+        super().__init__(node_id, sim, network, quorums, state_machine, cost_model)
+        self.leader_id = leader_id
+        self.ballot = Ballot.initial(leader_id)
+        self.log: Dict[int, Command] = {}
+        self.committed: Dict[int, Command] = {}
+        self._slot_states: Dict[int, _SlotState] = {}
+        self._next_slot = 0
+        self._next_execute = 0
+        self.stats = MultiPaxosStats()
+        self.recovery_enabled = recovery_enabled
+        self.heartbeat_every_ms = heartbeat_every_ms
+        self.suspect_after_ms = suspect_after_ms
+        self.failure_detector: Optional[FailureDetector] = None
+        self._election_replies: Dict[int, LeaderPrepareReply] = {}
+        self._electing = False
+
+    # --------------------------------------------------------------- startup
+
+    def start(self) -> None:
+        """Start the failure detector (only matters for crash experiments)."""
+        if self.recovery_enabled:
+            self.failure_detector = FailureDetector(
+                owner=self, peer_ids=self.network.node_ids,
+                heartbeat_every_ms=self.heartbeat_every_ms,
+                suspect_after_ms=self.suspect_after_ms,
+                on_suspect=self._on_suspect)
+            self.failure_detector.start()
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this replica currently acts as the designated leader."""
+        return self.node_id == self.leader_id
+
+    # ----------------------------------------------------------- client path
+
+    def propose(self, command: Command) -> None:
+        """Order a client command: lead it if leader, otherwise forward."""
+        if self.is_leader:
+            self._lead(command)
+        else:
+            self.stats.commands_forwarded += 1
+            self.send(self.leader_id, ClientForward(command=command),
+                      size_bytes=64 + command.payload_size)
+
+    def _lead(self, command: Command) -> None:
+        """Assign the next log slot and run the accept round."""
+        slot = self._next_slot
+        self._next_slot += 1
+        self.stats.slots_proposed += 1
+        state = _SlotState(slot=slot, command=command, ballot=self.ballot)
+        state.acks.add(self.node_id)
+        self._slot_states[slot] = state
+        self.log[slot] = command
+        self.broadcast(AcceptSlot(slot=slot, command=command, ballot=self.ballot),
+                       include_self=False, size_bytes=64 + command.payload_size)
+
+    # ------------------------------------------------------ message handling
+
+    def handle_message(self, src: int, message: object) -> None:
+        """Dispatch an incoming Multi-Paxos message."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_any_message(src)
+        if isinstance(message, Heartbeat):
+            if self.failure_detector is not None:
+                self.failure_detector.observe_heartbeat(message)
+            return
+        if isinstance(message, ClientForward):
+            self._on_forward(src, message)
+        elif isinstance(message, AcceptSlot):
+            self._on_accept(src, message)
+        elif isinstance(message, AcceptSlotReply):
+            self._on_accept_reply(src, message)
+        elif isinstance(message, CommitSlot):
+            self._on_commit(src, message)
+        elif isinstance(message, LeaderPrepare):
+            self._on_leader_prepare(src, message)
+        elif isinstance(message, LeaderPrepareReply):
+            self._on_leader_prepare_reply(src, message)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+
+    def _on_forward(self, src: int, message: ClientForward) -> None:
+        """Leader side of a forwarded client command."""
+        if not self.is_leader:
+            # Stale forwarding during an election: forward onwards.
+            self.send(self.leader_id, message)
+            return
+        self._lead(message.command)
+
+    def _on_accept(self, src: int, message: AcceptSlot) -> None:
+        """Acceptor: store the slot value and acknowledge."""
+        if message.ballot < self.ballot:
+            return
+        self.ballot = message.ballot
+        self.leader_id = message.ballot.node_id
+        self.log[message.slot] = message.command
+        self.send(src, AcceptSlotReply(slot=message.slot, ballot=message.ballot))
+
+    def _on_accept_reply(self, src: int, message: AcceptSlotReply) -> None:
+        """Leader: commit the slot once a majority has accepted it."""
+        state = self._slot_states.get(message.slot)
+        if state is None or state.committed or state.ballot != message.ballot:
+            return
+        state.acks.add(src)
+        if len(state.acks) < self.quorums.classic:
+            return
+        state.committed = True
+        self.stats.slots_committed += 1
+        self.record_decided(state.command.command_id, DecisionKind.SLOW)
+        self.broadcast(CommitSlot(slot=state.slot, command=state.command),
+                       size_bytes=64 + state.command.payload_size)
+
+    def _on_commit(self, src: int, message: CommitSlot) -> None:
+        """Every replica: record the chosen value and execute the log in order."""
+        self.committed[message.slot] = message.command
+        self.log[message.slot] = message.command
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        """Execute committed slots contiguously from the execution frontier."""
+        while self._next_execute in self.committed:
+            command = self.committed[self._next_execute]
+            if not self.has_executed(command.command_id):
+                self.execute_command(command)
+            self._next_execute += 1
+
+    # --------------------------------------------------------------- election
+
+    def _on_suspect(self, peer: int) -> None:
+        """Trigger a leader election when the current leader is suspected."""
+        if peer != self.leader_id or not self.recovery_enabled:
+            return
+        live = [n for n in self.network.node_ids if n != peer]
+        if self.node_id != min(live):
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        """Become leader: prepare with a higher ballot and collect accepted slots."""
+        if self._electing:
+            return
+        self._electing = True
+        self.stats.elections += 1
+        self.ballot = Ballot(self.ballot.round + 1, self.node_id)
+        self._election_replies = {}
+        self.broadcast(LeaderPrepare(ballot=self.ballot, from_slot=self._next_execute),
+                       include_self=False)
+
+    def _on_leader_prepare(self, src: int, message: LeaderPrepare) -> None:
+        if message.ballot < self.ballot:
+            return
+        self.ballot = message.ballot
+        self.leader_id = message.ballot.node_id
+        accepted = tuple((slot, command) for slot, command in sorted(self.log.items())
+                         if slot >= message.from_slot and slot not in self.committed)
+        highest = max(list(self.log.keys()) + list(self.committed.keys()), default=-1)
+        self.send(src, LeaderPrepareReply(ballot=message.ballot, accepted=accepted,
+                                          highest_slot=highest))
+
+    def _on_leader_prepare_reply(self, src: int, message: LeaderPrepareReply) -> None:
+        if not self._electing or message.ballot != self.ballot:
+            return
+        self._election_replies[src] = message
+        if len(self._election_replies) + 1 < self.quorums.classic:
+            return
+        self._electing = False
+        self.leader_id = self.node_id
+        known_slots = ([self._next_slot - 1] +
+                       list(self.log.keys()) + list(self.committed.keys()) +
+                       [reply.highest_slot for reply in self._election_replies.values()] +
+                       [slot for reply in self._election_replies.values()
+                        for slot, _ in reply.accepted])
+        highest = max(known_slots, default=-1)
+        self._next_slot = highest + 1
+        # Re-propose every accepted-but-uncommitted slot reported by the quorum.
+        for reply in self._election_replies.values():
+            for slot, command in reply.accepted:
+                if slot in self.committed or slot in self._slot_states:
+                    continue
+                state = _SlotState(slot=slot, command=command, ballot=self.ballot)
+                state.acks.add(self.node_id)
+                self._slot_states[slot] = state
+                self.log[slot] = command
+                self.broadcast(AcceptSlot(slot=slot, command=command, ballot=self.ballot),
+                               include_self=False)

@@ -1,0 +1,169 @@
+"""Command-line interface for running experiments and regenerating figures.
+
+Installed as the ``caesar-repro`` console script::
+
+    caesar-repro run --protocol caesar --conflicts 30 --clients 10
+    caesar-repro compare --conflicts 0 10 30
+    caesar-repro figure 6
+    caesar-repro figure 9 --quick
+    caesar-repro topology
+
+The CLI is a thin wrapper over :mod:`repro.harness`; everything it prints can
+also be produced programmatically (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.harness import figures
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.figures import throughput_cost_model
+from repro.harness.report import format_series
+from repro.sim.batching import BatchingConfig
+from repro.sim.topology import EC2_SHORT_LABELS, EC2_SITES, ec2_five_sites
+
+#: Maps ``figure <n>`` to the driver that regenerates it.
+FIGURE_DRIVERS = {
+    "6": figures.figure6_latency_vs_conflicts,
+    "7": figures.figure7_single_leader_comparison,
+    "8": figures.figure8_client_scaling,
+    "9": figures.figure9_throughput,
+    "10": figures.figure10_slow_paths,
+    "11": figures.figure11_breakdown,
+    "12": figures.figure12_failure_timeline,
+}
+
+#: Scaled-down parameters used with ``--quick`` so every figure finishes fast.
+QUICK_OVERRIDES = {
+    "6": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=5, duration_ms=4000.0,
+              warmup_ms=1000.0),
+    "7": dict(clients_per_site=5, duration_ms=4000.0, warmup_ms=1000.0),
+    "8": dict(client_counts=(5, 50, 250), duration_ms=3000.0, warmup_ms=1000.0),
+    "9": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=40, duration_ms=3000.0,
+              warmup_ms=1000.0),
+    "10": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=15, duration_ms=3000.0,
+               warmup_ms=1000.0),
+    "11": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=5, duration_ms=4000.0,
+               warmup_ms=1000.0),
+    "12": dict(clients_per_site=10, crash_at_ms=5000.0, total_ms=12000.0),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="caesar-repro",
+        description="Reproduction of CAESAR (Speeding up Consensus by Chasing Fast "
+                    "Decisions, DSN 2017) on a simulated geo-replicated substrate.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one protocol on one workload")
+    run_parser.add_argument("--protocol", default="caesar",
+                            choices=["caesar", "epaxos", "multipaxos", "mencius", "m2paxos"])
+    run_parser.add_argument("--conflicts", type=float, default=0.0,
+                            help="percentage of conflicting commands (0-100)")
+    run_parser.add_argument("--clients", type=int, default=10, help="clients per site")
+    run_parser.add_argument("--duration", type=float, default=8000.0,
+                            help="measured duration in simulated ms")
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--batching", action="store_true",
+                            help="enable network message batching")
+    run_parser.add_argument("--throughput", action="store_true",
+                            help="use the saturation CPU cost model (throughput study)")
+
+    compare_parser = subparsers.add_parser("compare",
+                                           help="compare all protocols at given conflict rates")
+    compare_parser.add_argument("--conflicts", type=float, nargs="+", default=[0.0, 10.0, 30.0])
+    compare_parser.add_argument("--clients", type=int, default=10)
+    compare_parser.add_argument("--duration", type=float, default=6000.0)
+    compare_parser.add_argument("--seed", type=int, default=1)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one figure of the paper")
+    figure_parser.add_argument("number", choices=sorted(FIGURE_DRIVERS, key=int),
+                               help="paper figure number")
+    figure_parser.add_argument("--quick", action="store_true",
+                               help="use scaled-down parameters (fast, coarser numbers)")
+
+    subparsers.add_parser("topology", help="print the simulated five-site EC2 topology")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> str:
+    config = ExperimentConfig(
+        protocol=args.protocol, conflict_rate=args.conflicts / 100.0,
+        clients_per_site=args.clients, duration_ms=args.duration,
+        warmup_ms=min(2000.0, args.duration / 4), seed=args.seed,
+        cost_model=throughput_cost_model() if args.throughput else None,
+        batching=BatchingConfig() if args.batching else None)
+    result = run_experiment(config)
+    lines = [f"protocol:           {args.protocol}",
+             f"conflict rate:      {args.conflicts:.0f}%",
+             f"commands completed: {result.metrics.count}",
+             f"throughput:         {result.throughput_per_second:.1f} commands/s"]
+    if result.overall_latency is not None:
+        lines.append(f"mean latency:       {result.overall_latency.mean:.1f} ms "
+                     f"(p95 {result.overall_latency.p95:.1f} ms)")
+    ratio = result.slow_path_ratio
+    if ratio is not None:
+        lines.append(f"slow decisions:     {ratio * 100.0:.1f}%")
+    lines.append(f"per-site mean latency (ms):")
+    for site in EC2_SITES:
+        mean = result.site_mean_latency(site)
+        if mean is not None:
+            lines.append(f"  {EC2_SHORT_LABELS[site]:<3} {mean:7.1f}")
+    lines.append(f"consistency violations: {result.consistency_violations}")
+    return "\n".join(lines)
+
+
+def _compare(args: argparse.Namespace) -> str:
+    latency = {}
+    slow = {}
+    for protocol in ("caesar", "epaxos", "m2paxos", "mencius", "multipaxos"):
+        latency[protocol] = {}
+        slow[protocol] = {}
+        for conflicts in args.conflicts:
+            result = run_experiment(ExperimentConfig(
+                protocol=protocol, conflict_rate=conflicts / 100.0,
+                clients_per_site=args.clients, duration_ms=args.duration,
+                warmup_ms=min(2000.0, args.duration / 4), seed=args.seed))
+            key = f"{conflicts:.0f}%"
+            overall = result.overall_latency
+            latency[protocol][key] = overall.mean if overall else None
+            ratio = result.slow_path_ratio
+            slow[protocol][key] = ratio * 100.0 if ratio is not None else None
+    return (format_series("Mean latency (ms) across sites", latency, "conflict")
+            + "\n\n"
+            + format_series("Slow-path share (%)", slow, "conflict"))
+
+
+def _figure(args: argparse.Namespace) -> str:
+    driver = FIGURE_DRIVERS[args.number]
+    overrides = QUICK_OVERRIDES[args.number] if args.quick else {}
+    result = driver(**overrides)
+    return result.table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        output = _run(args)
+    elif args.command == "compare":
+        output = _compare(args)
+    elif args.command == "figure":
+        output = _figure(args)
+    elif args.command == "topology":
+        output = ec2_five_sites().describe()
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

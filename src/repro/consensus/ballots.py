@@ -1,0 +1,43 @@
+"""Ballots identify which leader is currently driving a command's decision.
+
+CAESAR (like Paxos) tags every per-command message with a ballot number; an
+acceptor ignores messages whose ballot is lower than the highest ballot it
+has joined for that command.  Ballot 0 belongs to the command's original
+leader; recovery bumps the ballot so that at most one recovering leader can
+complete the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ballot:
+    """A ``(round, node_id)`` ballot, ordered lexicographically.
+
+    Using the node id as a tie breaker guarantees two different nodes never
+    produce the same ballot, so concurrent recoveries always have a winner.
+    """
+
+    round: int
+    node_id: int
+
+    def __lt__(self, other: "Ballot") -> bool:
+        if not isinstance(other, Ballot):
+            return NotImplemented
+        return (self.round, self.node_id) < (other.round, other.node_id)
+
+    @classmethod
+    def initial(cls, leader_id: int) -> "Ballot":
+        """The ballot the original command leader uses (round 0)."""
+        return cls(0, leader_id)
+
+    def next_for(self, node_id: int) -> "Ballot":
+        """The ballot a recovering node should use to supersede this one."""
+        return Ballot(self.round + 1, node_id)
+
+    def __str__(self) -> str:
+        return f"b({self.round},{self.node_id})"

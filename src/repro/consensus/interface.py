@@ -1,0 +1,217 @@
+"""Replica interface shared by CAESAR and all baseline protocols.
+
+Every protocol in this repository is implemented as a subclass of
+:class:`ConsensusReplica`.  The class wires three things together:
+
+* the simulated :class:`~repro.sim.node.Node` (network, timers, CPU model);
+* the replicated state machine the decided commands are applied to;
+* book-keeping the experiment harness relies on: per-command
+  :class:`Decision` records (fast vs. slow path, phase timings) and the
+  per-replica :class:`ExecutionLog` used by the correctness checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.consensus.command import Command, CommandId, CommandResult
+from repro.consensus.quorums import QuorumSystem
+from repro.kvstore.state_machine import StateMachine
+from repro.sim.costs import CostModel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+
+
+class DecisionKind(enum.Enum):
+    """How a command reached its final order."""
+
+    FAST = "fast"
+    SLOW = "slow"
+    RECOVERED = "recovered"
+
+
+@dataclass
+class Decision:
+    """Per-command record kept by the replica that proposed the command.
+
+    Attributes:
+        command_id: the command being tracked.
+        proposer: replica the client submitted the command to.
+        submitted_at: virtual time of the client submission.
+        decided_at: virtual time at which the proposer learned the final order.
+        executed_at: virtual time at which the proposer executed the command
+            and answered the client.
+        kind: fast path, slow path, or completed by recovery.
+        phase_times: per-phase durations in ms (keys such as ``"propose"``,
+            ``"retry"``, ``"deliver"``, ``"wait"``), used by Figure 11.
+    """
+
+    command_id: CommandId
+    proposer: int
+    submitted_at: float
+    decided_at: Optional[float] = None
+    executed_at: Optional[float] = None
+    kind: Optional[DecisionKind] = None
+    phase_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """Client-visible latency (submission to execution at the proposer)."""
+        if self.executed_at is None:
+            return None
+        return self.executed_at - self.submitted_at
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the command has been executed at its proposer."""
+        return self.executed_at is not None
+
+
+class ExecutionLog:
+    """Ordered record of the commands a replica has executed.
+
+    The correctness checks compare logs of different replicas: conflicting
+    commands must appear in the same relative order everywhere (Generalized
+    Consensus consistency), while commuting commands may be permuted.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Command] = []
+        self._positions: Dict[CommandId, int] = {}
+
+    def append(self, command: Command) -> None:
+        """Record that ``command`` was executed (exactly once per command)."""
+        if command.command_id in self._positions:
+            raise ValueError(f"command {command.command_id} executed twice")
+        self._positions[command.command_id] = len(self._entries)
+        self._entries.append(command)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def position(self, command_id: CommandId) -> Optional[int]:
+        """Index of a command in this log, or ``None`` if not executed here."""
+        return self._positions.get(command_id)
+
+    def contains(self, command_id: CommandId) -> bool:
+        """Whether the command has been executed by this replica."""
+        return command_id in self._positions
+
+    @property
+    def commands(self) -> List[Command]:
+        """The executed commands, oldest first (copy)."""
+        return list(self._entries)
+
+    def conflicting_order_violations(self, other: "ExecutionLog") -> List[tuple]:
+        """Pairs of conflicting commands ordered differently in ``self`` and ``other``."""
+        violations = []
+        common = [c for c in self._entries if other.contains(c.command_id)]
+        for i, first in enumerate(common):
+            for second in common[i + 1:]:
+                if not first.conflicts_with(second):
+                    continue
+                if other.position(first.command_id) > other.position(second.command_id):
+                    violations.append((first.command_id, second.command_id))
+        return violations
+
+
+class ConsensusReplica(Node):
+    """Base class for every protocol replica.
+
+    Args:
+        node_id: index of this replica.
+        sim: shared simulator.
+        network: shared network.
+        quorums: pre-computed quorum sizes for the cluster.
+        state_machine: the local copy of the replicated state machine.
+        cost_model: CPU model (``None`` for the default).
+    """
+
+    #: human-readable protocol name, overridden by subclasses.
+    protocol_name = "abstract"
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                 state_machine: StateMachine, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(node_id, sim, network, cost_model)
+        self.quorums = quorums
+        self.state_machine = state_machine
+        self.execution_log = ExecutionLog()
+        self.decisions: Dict[CommandId, Decision] = {}
+        self._client_callbacks: Dict[CommandId, Callable[[CommandResult], None]] = {}
+        self.commands_executed = 0
+
+    # ------------------------------------------------------------ client API
+
+    def submit(self, command: Command,
+               callback: Optional[Callable[[CommandResult], None]] = None) -> None:
+        """Entry point for a client co-located with this replica.
+
+        The replica becomes the command's leader, tracks a :class:`Decision`
+        record for it, and will invoke ``callback`` once the command has been
+        executed locally.
+        """
+        if self.crashed:
+            return
+        if callback is not None:
+            self._client_callbacks[command.command_id] = callback
+        self.decisions[command.command_id] = Decision(
+            command_id=command.command_id, proposer=self.node_id, submitted_at=self.sim.now)
+        self.consume_cpu(self.cost_model.client_request_ms)
+        self.propose(command)
+
+    def propose(self, command: Command) -> None:
+        """Start the protocol-specific ordering of ``command`` (subclass hook)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- execution
+
+    def execute_command(self, command: Command) -> CommandResult:
+        """Apply a decided command to the local state machine, exactly once."""
+        value = self.state_machine.apply(command)
+        self.execution_log.append(command)
+        self.commands_executed += 1
+        result = CommandResult(command_id=command.command_id, value=value, executed_at=self.sim.now)
+        decision = self.decisions.get(command.command_id)
+        if decision is not None and decision.executed_at is None:
+            decision.executed_at = self.sim.now
+        callback = self._client_callbacks.pop(command.command_id, None)
+        if callback is not None:
+            callback(result)
+        return result
+
+    def has_executed(self, command_id: CommandId) -> bool:
+        """Whether this replica has already executed the command."""
+        return self.execution_log.contains(command_id)
+
+    # ------------------------------------------------------------- reporting
+
+    def record_decided(self, command_id: CommandId, kind: DecisionKind) -> None:
+        """Record that the proposer learned the final order of a command."""
+        decision = self.decisions.get(command_id)
+        if decision is not None and decision.decided_at is None:
+            decision.decided_at = self.sim.now
+            decision.kind = kind
+
+    def record_phase_time(self, command_id: CommandId, phase: str, duration_ms: float) -> None:
+        """Accumulate per-phase latency for Figure 11-style breakdowns."""
+        decision = self.decisions.get(command_id)
+        if decision is not None:
+            decision.phase_times[phase] = decision.phase_times.get(phase, 0.0) + duration_ms
+
+    def completed_decisions(self) -> List[Decision]:
+        """All decisions for commands proposed here that have been executed."""
+        return [d for d in self.decisions.values() if d.is_complete]
+
+    def fast_path_ratio(self) -> Optional[float]:
+        """Fraction of completed local decisions that used the fast path."""
+        done = [d for d in self.completed_decisions() if d.kind is not None]
+        if not done:
+            return None
+        fast = sum(1 for d in done if d.kind is DecisionKind.FAST)
+        return fast / len(done)

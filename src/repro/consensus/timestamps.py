@@ -1,0 +1,80 @@
+"""Logical timestamps used by CAESAR's ordering layer.
+
+Section V-A of the paper defines the per-node logical clock ``TS_i`` whose
+values live in ``{<k, i> : k in N}`` and are totally ordered first by ``k``
+and then by the node id.  Two different nodes therefore can never generate
+equal timestamps, which is what lets CAESAR order conflicting commands by
+timestamp alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class LogicalTimestamp:
+    """A ``<k, node_id>`` logical timestamp.
+
+    Ordering: ``<k1, i> < <k2, j>`` iff ``k1 < k2`` or (``k1 == k2`` and
+    ``i < j``).
+    """
+
+    counter: int
+    node_id: int
+
+    def __lt__(self, other: "LogicalTimestamp") -> bool:
+        if not isinstance(other, LogicalTimestamp):
+            return NotImplemented
+        return (self.counter, self.node_id) < (other.counter, other.node_id)
+
+    def next_for(self, node_id: int) -> "LogicalTimestamp":
+        """The smallest timestamp owned by ``node_id`` strictly greater than self."""
+        if node_id > self.node_id:
+            return LogicalTimestamp(self.counter, node_id)
+        return LogicalTimestamp(self.counter + 1, node_id)
+
+    def __str__(self) -> str:
+        return f"<{self.counter},{self.node_id}>"
+
+
+class TimestampGenerator:
+    """Per-node monotonically increasing timestamp source.
+
+    The generator implements the two update rules from Section V-A:
+
+    * whenever the node proposes a command it uses a fresh value greater than
+      anything it has handled so far (:meth:`next_timestamp`);
+    * whenever it observes a timestamp ``T`` from another node it advances its
+      clock beyond ``T`` (:meth:`observe`).
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._current = LogicalTimestamp(0, node_id)
+
+    @property
+    def current(self) -> LogicalTimestamp:
+        """The latest value of the clock (already used or observed)."""
+        return self._current
+
+    def next_timestamp(self) -> LogicalTimestamp:
+        """Return a fresh timestamp for a command proposed by this node."""
+        self._current = LogicalTimestamp(self._current.counter + 1, self.node_id)
+        return self._current
+
+    def observe(self, timestamp: LogicalTimestamp) -> None:
+        """Advance the clock past an externally observed timestamp."""
+        if timestamp >= self._current:
+            self._current = LogicalTimestamp(timestamp.counter + 1, self.node_id)
+
+    def suggestion_greater_than(self, timestamp: LogicalTimestamp) -> LogicalTimestamp:
+        """A fresh local timestamp strictly greater than ``timestamp``.
+
+        Used when an acceptor rejects a proposal and must suggest a new,
+        larger timestamp for the command (Section IV-B).
+        """
+        self.observe(timestamp)
+        return self.next_timestamp()

@@ -1,0 +1,478 @@
+"""The CAESAR replica: multi-leader Generalized Consensus by timestamp agreement.
+
+One :class:`CaesarReplica` instance plays both roles the paper describes:
+
+* **command leader** for the commands its co-located clients submit — it runs
+  the fast proposal phase, and when needed the slow proposal and retry
+  phases, before broadcasting the STABLE decision;
+* **acceptor** for every command in the system — it evaluates proposals
+  against its history ``H``, enforces the wait condition, and delivers stable
+  commands in predecessor order.
+
+The phase structure, message names and decision rules follow the pseudocode
+of Figures 3-5 of the paper; the recovery phase lives in
+:mod:`repro.core.recovery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.command import Command, CommandId
+from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.quorums import QuorumSystem
+from repro.consensus.timestamps import LogicalTimestamp, TimestampGenerator
+from repro.core.config import CaesarConfig
+from repro.core.delivery import DeliveryManager
+from repro.core.history import CommandHistory, CommandStatus
+from repro.core.messages import (
+    FastPropose,
+    FastProposeReply,
+    Recovery,
+    RecoveryReply,
+    Retry,
+    RetryReply,
+    SlowPropose,
+    SlowProposeReply,
+    Stable,
+)
+from repro.core.predecessors import WaitManager, compute_predecessors
+from repro.core.recovery import RecoveryManager
+from repro.kvstore.state_machine import StateMachine
+from repro.sim.costs import CostModel
+from repro.sim.failures import FailureDetector, Heartbeat
+from repro.sim.network import Network
+from repro.sim.node import Node, Timer
+from repro.sim.simulator import Simulator
+
+#: Leader-side phases a command can be in.
+PHASE_FAST = "fast_proposal"
+PHASE_SLOW = "slow_proposal"
+PHASE_RETRY = "retry"
+PHASE_DONE = "done"
+
+
+@dataclass
+class LeaderState:
+    """Book-keeping the command leader keeps while driving one command."""
+
+    command: Command
+    ballot: Ballot
+    phase: str
+    timestamp: LogicalTimestamp
+    whitelist: Optional[FrozenSet[CommandId]]
+    replies: Dict[int, object] = field(default_factory=dict)
+    predecessors: Set[CommandId] = field(default_factory=set)
+    timer: Optional[Timer] = None
+    started_at: float = 0.0
+    phase_started_at: float = 0.0
+    went_slow: bool = False
+    recovered: bool = False
+
+
+@dataclass
+class CaesarStats:
+    """Protocol-internal counters surfaced to the experiment harness."""
+
+    fast_decisions: int = 0
+    slow_decisions: int = 0
+    retries: int = 0
+    slow_proposals: int = 0
+    nacks_sent: int = 0
+    recoveries_started: int = 0
+    recoveries_completed: int = 0
+
+
+class CaesarReplica(ConsensusReplica):
+    """A CAESAR node (command leader + acceptor) on the simulated substrate.
+
+    Args:
+        node_id: index of this replica in the cluster.
+        sim: shared simulator.
+        network: shared network.
+        quorums: quorum sizes (classic and fast) for the cluster size.
+        state_machine: local replicated state machine.
+        config: protocol configuration.
+        cost_model: CPU cost model.
+    """
+
+    protocol_name = "caesar"
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                 state_machine: StateMachine, config: Optional[CaesarConfig] = None,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(node_id, sim, network, quorums, state_machine, cost_model)
+        self.config = config or CaesarConfig()
+        self.timestamps = TimestampGenerator(node_id)
+        self.history = CommandHistory()
+        self.wait_manager = WaitManager(self.history, lambda: self.sim.now,
+                                        enabled=self.config.wait_condition_enabled)
+        self.delivery = DeliveryManager(self.history, self._execute_stable,
+                                        on_delivered=self._after_delivery)
+        self.leader_states: Dict[CommandId, LeaderState] = {}
+        self.ballots: Dict[CommandId, Ballot] = {}
+        self.stats = CaesarStats()
+        self.wait_time_samples: List[float] = []
+        self.recovery = RecoveryManager(self)
+        self.failure_detector: Optional[FailureDetector] = None
+
+    # --------------------------------------------------------------- startup
+
+    def start(self) -> None:
+        """Start background machinery (failure detector); call once per run."""
+        if self.config.recovery_enabled:
+            self.failure_detector = FailureDetector(
+                owner=self,
+                peer_ids=self.network.node_ids,
+                heartbeat_every_ms=self.config.heartbeat_every_ms,
+                suspect_after_ms=self.config.suspect_after_ms,
+                on_suspect=self.recovery.on_suspect,
+            )
+            self.failure_detector.start()
+
+    # ----------------------------------------------------------- client path
+
+    def propose(self, command: Command) -> None:
+        """Become the leader of ``command`` and start its fast proposal phase."""
+        timestamp = self.timestamps.next_timestamp()
+        ballot = Ballot.initial(self.node_id)
+        self.ballots.setdefault(command.command_id, ballot)
+        self._start_fast_proposal(command, ballot, timestamp, whitelist=None)
+
+    # ------------------------------------------------------- leader: phases
+
+    def _start_fast_proposal(self, command: Command, ballot: Ballot,
+                             timestamp: LogicalTimestamp,
+                             whitelist: Optional[FrozenSet[CommandId]],
+                             recovered: bool = False) -> None:
+        """FASTPROPOSALPHASE (Figure 4, lines P1-P10)."""
+        state = LeaderState(command=command, ballot=ballot, phase=PHASE_FAST,
+                            timestamp=timestamp, whitelist=whitelist,
+                            started_at=self.sim.now, phase_started_at=self.sim.now,
+                            recovered=recovered)
+        self.leader_states[command.command_id] = state
+        state.timer = self.set_timer(self.config.fast_proposal_timeout_ms,
+                                     lambda: self._on_fast_proposal_timeout(command.command_id))
+        self.broadcast(FastPropose(command=command, ballot=ballot, timestamp=timestamp,
+                                   whitelist=whitelist),
+                       size_bytes=64 + command.payload_size)
+
+    def _start_slow_proposal(self, state: LeaderState) -> None:
+        """SLOWPROPOSALPHASE (Figure 4, lines P21-P30), after a fast-quorum timeout."""
+        self.stats.slow_proposals += 1
+        state.phase = PHASE_SLOW
+        state.replies = {}
+        state.phase_started_at = self.sim.now
+        state.went_slow = True
+        self.broadcast(SlowPropose(command=state.command, ballot=state.ballot,
+                                   timestamp=state.timestamp,
+                                   predecessors=frozenset(state.predecessors)),
+                       size_bytes=64 + state.command.payload_size)
+
+    def _start_retry(self, state: LeaderState) -> None:
+        """RETRYPHASE (Figure 4, lines R1-R4)."""
+        self.stats.retries += 1
+        state.phase = PHASE_RETRY
+        state.replies = {}
+        state.went_slow = True
+        command_id = state.command.command_id
+        self.record_phase_time(command_id, "propose", self.sim.now - state.phase_started_at)
+        state.phase_started_at = self.sim.now
+        self.broadcast(Retry(command=state.command, ballot=state.ballot,
+                             timestamp=state.timestamp,
+                             predecessors=frozenset(state.predecessors)),
+                       size_bytes=64 + state.command.payload_size)
+
+    def _start_stable(self, state: LeaderState) -> None:
+        """STABLEPHASE (Figure 4, lines S1): broadcast the final decision."""
+        command_id = state.command.command_id
+        if state.phase == PHASE_RETRY:
+            self.record_phase_time(command_id, "retry", self.sim.now - state.phase_started_at)
+        else:
+            self.record_phase_time(command_id, "propose", self.sim.now - state.phase_started_at)
+        if state.timer is not None:
+            state.timer.cancel()
+        state.phase = PHASE_DONE
+        if state.recovered:
+            kind = DecisionKind.RECOVERED
+        elif state.went_slow:
+            kind = DecisionKind.SLOW
+        else:
+            kind = DecisionKind.FAST
+        if kind is DecisionKind.FAST:
+            self.stats.fast_decisions += 1
+        else:
+            self.stats.slow_decisions += 1
+        self.record_decided(command_id, kind)
+        self.record_phase_time(command_id, "deliver_start", 0.0)
+        self.decisions.get(command_id)  # ensure record exists for local proposals
+        self.broadcast(Stable(command=state.command, ballot=state.ballot,
+                              timestamp=state.timestamp,
+                              predecessors=frozenset(state.predecessors)),
+                       size_bytes=64 + state.command.payload_size)
+
+    def _on_fast_proposal_timeout(self, command_id: CommandId) -> None:
+        """Fall back to the slow proposal phase when a fast quorum is unavailable."""
+        state = self.leader_states.get(command_id)
+        if state is None or state.phase != PHASE_FAST:
+            return
+        replies = list(state.replies.values())
+        if len(replies) < self.quorums.classic:
+            # Not even a classic quorum yet: keep waiting (the cluster may have
+            # more than f slow/crashed nodes right now).
+            state.timer = self.set_timer(self.config.fast_proposal_timeout_ms,
+                                         lambda: self._on_fast_proposal_timeout(command_id))
+            return
+        self._merge_fast_replies(state)
+        if any(not reply.ok for reply in replies):
+            self._start_retry(state)
+        else:
+            self._start_slow_proposal(state)
+
+    def _merge_fast_replies(self, state: LeaderState) -> None:
+        """Aggregate reply timestamps/predecessors (Figure 4, lines P3-P4)."""
+        timestamps = [reply.timestamp for reply in state.replies.values()]
+        if timestamps:
+            state.timestamp = max(timestamps + [state.timestamp])
+        for reply in state.replies.values():
+            state.predecessors |= set(reply.predecessors)
+        state.predecessors.discard(state.command.command_id)
+
+    # ------------------------------------------------------ message handlers
+
+    def handle_message(self, src: int, message: object) -> None:
+        """Dispatch an incoming protocol message."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_any_message(src)
+        if isinstance(message, Heartbeat):
+            if self.failure_detector is not None:
+                self.failure_detector.observe_heartbeat(message)
+            return
+        if isinstance(message, FastPropose):
+            self._on_fast_propose(src, message)
+        elif isinstance(message, FastProposeReply):
+            self._on_fast_propose_reply(src, message)
+        elif isinstance(message, SlowPropose):
+            self._on_slow_propose(src, message)
+        elif isinstance(message, SlowProposeReply):
+            self._on_slow_propose_reply(src, message)
+        elif isinstance(message, Retry):
+            self._on_retry(src, message)
+        elif isinstance(message, RetryReply):
+            self._on_retry_reply(src, message)
+        elif isinstance(message, Stable):
+            self._on_stable(src, message)
+        elif isinstance(message, Recovery):
+            self.recovery.on_recovery_message(src, message)
+        elif isinstance(message, RecoveryReply):
+            self.recovery.on_recovery_reply(src, message)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+
+    # -------------------------------------------------- acceptor: proposals
+
+    def _ballot_allows(self, command_id: CommandId, ballot: Ballot) -> bool:
+        """Whether a message at ``ballot`` may be processed for this command."""
+        current = self.ballots.get(command_id)
+        return current is None or ballot >= current
+
+    def _on_fast_propose(self, src: int, message: FastPropose) -> None:
+        """Acceptor side of the fast proposal phase (Figure 4, lines P11-P20)."""
+        command = message.command
+        command_id = command.command_id
+        if not self._ballot_allows(command_id, message.ballot):
+            return
+        existing = self.history.get(command_id)
+        if existing is not None and existing.status is CommandStatus.STABLE:
+            # Already decided (e.g. a recovery finished first); nothing to do.
+            return
+        self.ballots[command_id] = message.ballot
+        self.timestamps.observe(message.timestamp)
+        predecessors = compute_predecessors(self.history, command, message.timestamp,
+                                            message.whitelist)
+        self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
+        self.history.update(command, message.timestamp, predecessors,
+                            CommandStatus.FAST_PENDING, message.ballot,
+                            forced=message.whitelist is not None)
+        self.wait_manager.notify_change(command.key)
+
+        def resolved(ok: bool, waited_ms: float) -> None:
+            self._answer_proposal(src, command, message.ballot, message.timestamp,
+                                  predecessors, ok, waited_ms, fast=True)
+
+        self.wait_manager.evaluate(command, message.timestamp, resolved)
+
+    def _on_slow_propose(self, src: int, message: SlowPropose) -> None:
+        """Acceptor side of the slow proposal phase (Figure 4, lines P31-P39)."""
+        command = message.command
+        command_id = command.command_id
+        if not self._ballot_allows(command_id, message.ballot):
+            return
+        existing = self.history.get(command_id)
+        if existing is not None and existing.status is CommandStatus.STABLE:
+            return
+        self.ballots[command_id] = message.ballot
+        self.timestamps.observe(message.timestamp)
+        predecessors = compute_predecessors(self.history, command, message.timestamp, None)
+        predecessors |= set(message.predecessors)
+        predecessors.discard(command_id)
+        self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
+        self.history.update(command, message.timestamp, predecessors,
+                            CommandStatus.SLOW_PENDING, message.ballot)
+        self.wait_manager.notify_change(command.key)
+
+        def resolved(ok: bool, waited_ms: float) -> None:
+            self._answer_proposal(src, command, message.ballot, message.timestamp,
+                                  predecessors, ok, waited_ms, fast=False)
+
+        self.wait_manager.evaluate(command, message.timestamp, resolved)
+
+    def _answer_proposal(self, leader: int, command: Command, ballot: Ballot,
+                         timestamp: LogicalTimestamp, predecessors: Set[CommandId],
+                         ok: bool, waited_ms: float, fast: bool) -> None:
+        """Send the (possibly delayed) OK/NACK answer for a proposal."""
+        command_id = command.command_id
+        if waited_ms > 0:
+            self.wait_time_samples.append(waited_ms)
+        if not self._ballot_allows(command_id, ballot):
+            # A higher ballot took over while this proposal was parked.
+            return
+        entry = self.history.get(command_id)
+        if entry is not None and entry.status in (CommandStatus.ACCEPTED, CommandStatus.STABLE):
+            # A retry or stable overtook the parked proposal; the leader no
+            # longer needs this answer.
+            return
+        if ok:
+            reply_ts = timestamp
+            reply_pred = predecessors
+            status = CommandStatus.FAST_PENDING if fast else CommandStatus.SLOW_PENDING
+            self.history.update(command, timestamp, reply_pred, status, ballot,
+                                forced=entry.forced if entry is not None else False)
+        else:
+            self.stats.nacks_sent += 1
+            reply_ts = self.timestamps.suggestion_greater_than(timestamp)
+            reply_pred = compute_predecessors(self.history, command, reply_ts, None)
+            self.history.update(command, reply_ts, reply_pred, CommandStatus.REJECTED, ballot)
+        self.wait_manager.notify_change(command.key)
+        reply_cls = FastProposeReply if fast else SlowProposeReply
+        self.send(leader, reply_cls(command_id=command_id, ballot=ballot, timestamp=reply_ts,
+                                    predecessors=frozenset(reply_pred), ok=ok))
+
+    # ------------------------------------------------------- leader: replies
+
+    def _on_fast_propose_reply(self, src: int, message: FastProposeReply) -> None:
+        """Leader side of fast-proposal reply aggregation (Figure 4, lines P2-P10)."""
+        state = self.leader_states.get(message.command_id)
+        if state is None or state.phase != PHASE_FAST or state.ballot != message.ballot:
+            return
+        state.replies[src] = message
+        if len(state.replies) < self.quorums.fast:
+            return
+        self._merge_fast_replies(state)
+        if any(not reply.ok for reply in state.replies.values()):
+            self._start_retry(state)
+        else:
+            self._start_stable(state)
+
+    def _on_slow_propose_reply(self, src: int, message: SlowProposeReply) -> None:
+        """Leader side of slow-proposal reply aggregation (Figure 4, lines P22-P30)."""
+        state = self.leader_states.get(message.command_id)
+        if state is None or state.phase != PHASE_SLOW or state.ballot != message.ballot:
+            return
+        state.replies[src] = message
+        if len(state.replies) < self.quorums.classic:
+            return
+        timestamps = [reply.timestamp for reply in state.replies.values()]
+        state.timestamp = max(timestamps + [state.timestamp])
+        for reply in state.replies.values():
+            state.predecessors |= set(reply.predecessors)
+        state.predecessors.discard(message.command_id)
+        if any(not reply.ok for reply in state.replies.values()):
+            self._start_retry(state)
+        else:
+            self._start_stable(state)
+
+    def _on_retry(self, src: int, message: Retry) -> None:
+        """Acceptor side of the retry phase (Figure 4, lines R5-R8): never rejects."""
+        command = message.command
+        command_id = command.command_id
+        if not self._ballot_allows(command_id, message.ballot):
+            return
+        existing = self.history.get(command_id)
+        if existing is not None and existing.status is CommandStatus.STABLE:
+            return
+        self.ballots[command_id] = message.ballot
+        self.timestamps.observe(message.timestamp)
+        self.history.update(command, message.timestamp, set(message.predecessors),
+                            CommandStatus.ACCEPTED, message.ballot)
+        extra = compute_predecessors(self.history, command, message.timestamp, None)
+        extra.discard(command_id)
+        self.consume_cpu(self.cost_model.dependency_cost(len(extra)))
+        self.wait_manager.drop_command(command_id, command.key)
+        self.wait_manager.notify_change(command.key)
+        self.send(src, RetryReply(command_id=command_id, ballot=message.ballot,
+                                  timestamp=message.timestamp, predecessors=frozenset(extra)))
+
+    def _on_retry_reply(self, src: int, message: RetryReply) -> None:
+        """Leader side of retry aggregation (Figure 4, lines R2-R4)."""
+        state = self.leader_states.get(message.command_id)
+        if state is None or state.phase != PHASE_RETRY or state.ballot != message.ballot:
+            return
+        state.replies[src] = message
+        if len(state.replies) < self.quorums.classic:
+            return
+        for reply in state.replies.values():
+            state.predecessors |= set(reply.predecessors)
+        state.predecessors.discard(message.command_id)
+        self._start_stable(state)
+
+    # --------------------------------------------------------- stable phase
+
+    def _on_stable(self, src: int, message: Stable) -> None:
+        """Acceptor side of the stable phase (Figure 4, lines S2-S7)."""
+        command = message.command
+        command_id = command.command_id
+        existing = self.history.get(command_id)
+        if existing is not None and existing.status is CommandStatus.STABLE:
+            return
+        current_ballot = self.ballots.get(command_id)
+        if current_ballot is None or message.ballot >= current_ballot:
+            self.ballots[command_id] = message.ballot
+        self.timestamps.observe(message.timestamp)
+        predecessors = set(message.predecessors)
+        predecessors.discard(command_id)
+        self.history.update(command, message.timestamp, predecessors,
+                            CommandStatus.STABLE, message.ballot)
+        self.wait_manager.drop_command(command_id, command.key)
+        self.wait_manager.notify_change(command.key)
+        self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
+        self.delivery.on_stable(command)
+
+    def _execute_stable(self, command: Command) -> None:
+        """Callback from the delivery manager: apply the command locally."""
+        decision = self.decisions.get(command.command_id)
+        self.execute_command(command)
+        if decision is not None and decision.decided_at is not None:
+            self.record_phase_time(command.command_id, "deliver",
+                                   self.sim.now - decision.decided_at)
+
+    def _after_delivery(self, command: Command) -> None:
+        """Hook run after each delivery: waiting proposals may now resolve."""
+        self.wait_manager.notify_change(command.key)
+
+    # ------------------------------------------------------------- telemetry
+
+    def slow_path_ratio(self) -> Optional[float]:
+        """Fraction of locally proposed, completed commands decided on the slow path."""
+        ratio = self.fast_path_ratio()
+        if ratio is None:
+            return None
+        return 1.0 - ratio
+
+    def average_wait_ms(self) -> float:
+        """Mean time proposals spent parked in the wait condition on this node."""
+        if not self.wait_time_samples:
+            return 0.0
+        return sum(self.wait_time_samples) / len(self.wait_time_samples)

@@ -1,0 +1,130 @@
+"""Delivery of stable commands (stable phase, Figure 3 lines 9-17).
+
+Once a command is stable locally it may only be executed after every command
+in its predecessor set has been executed.  Because predecessor sets are
+computed against *proposed* timestamps (which a retry can later raise), two
+stable commands can reference each other; BREAKLOOP removes the edge that
+contradicts the final timestamp order, so the remaining precedence graph is
+acyclic and delivery always makes progress.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.consensus.command import Command, CommandId
+from repro.core.history import CommandHistory, CommandStatus, HistoryEntry
+
+
+class DeliveryManager:
+    """Per-replica executor of stable commands in predecessor order.
+
+    Args:
+        history: the replica's command history (shared, mutated by BREAKLOOP).
+        execute: callback that applies a command to the state machine.
+        on_delivered: optional hook invoked after each delivery (used by the
+            replica to unblock waiting proposals and record metrics).
+    """
+
+    def __init__(self, history: CommandHistory, execute: Callable[[Command], None],
+                 on_delivered: Optional[Callable[[Command], None]] = None) -> None:
+        self._history = history
+        self._execute = execute
+        self._on_delivered = on_delivered
+        self._delivered: Set[CommandId] = set()
+        self._pending: Dict[CommandId, Command] = {}
+        self.delivered_order: List[CommandId] = []
+
+    @property
+    def delivered_count(self) -> int:
+        """Number of commands executed by this replica so far."""
+        return len(self.delivered_order)
+
+    def is_delivered(self, command_id: CommandId) -> bool:
+        """Whether the command has been executed locally."""
+        return command_id in self._delivered
+
+    def pending_count(self) -> int:
+        """Stable commands still waiting for their predecessors."""
+        return len(self._pending)
+
+    # --------------------------------------------------------------- helpers
+
+    def _break_loop(self, command_id: CommandId) -> None:
+        """BREAKLOOP from Figure 3: reconcile mutual predecessor references.
+
+        For the newly stable command ``c`` and every *stable* command ``c̄`` in
+        its predecessor set: if ``c̄`` has a smaller final timestamp, ``c`` must
+        not appear among ``c̄``'s predecessors; if ``c̄`` has a larger final
+        timestamp, ``c̄`` must not appear among ``c``'s predecessors.
+        """
+        entry = self._history.get(command_id)
+        if entry is None or entry.status is not CommandStatus.STABLE:
+            return
+        to_remove: Set[CommandId] = set()
+        for pred_id in list(entry.predecessors):
+            pred_entry = self._history.get(pred_id)
+            if pred_entry is None or pred_entry.status is not CommandStatus.STABLE:
+                continue
+            if pred_entry.timestamp < entry.timestamp:
+                pred_entry.predecessors.discard(command_id)
+            else:
+                to_remove.add(pred_id)
+        if to_remove:
+            entry.predecessors -= to_remove
+
+    def _deliverable(self, entry: HistoryEntry) -> bool:
+        """DELIVERABLE: every predecessor has already been executed locally."""
+        return all(pred in self._delivered for pred in entry.predecessors)
+
+    # -------------------------------------------------------------- main API
+
+    def on_stable(self, command: Command) -> List[Command]:
+        """Register a newly stable command and deliver everything now possible.
+
+        Returns the list of commands delivered as a result (in order).
+        """
+        command_id = command.command_id
+        if command_id in self._delivered:
+            return []
+        self._pending[command_id] = command
+        self._break_loop(command_id)
+        # The new command may also unblock older stable commands whose
+        # predecessor sets referenced it; their loops are re-examined too.
+        for other_id in list(self._pending.keys()):
+            if other_id != command_id:
+                self._break_loop(other_id)
+        return self._drain()
+
+    def _drain(self) -> List[Command]:
+        """Deliver pending stable commands until no more are deliverable."""
+        delivered_now: List[Command] = []
+        progress = True
+        while progress:
+            progress = False
+            # Deliver in timestamp order so conflicting commands follow the
+            # agreed order; non-conflicting ties are broken deterministically.
+            ready: List[tuple] = []
+            for command_id, command in self._pending.items():
+                entry = self._history.get(command_id)
+                if entry is None:
+                    continue
+                if self._deliverable(entry):
+                    ready.append((entry.timestamp, command_id, command))
+            ready.sort(key=lambda item: item[0])
+            for _, command_id, command in ready:
+                if command_id not in self._pending:
+                    continue
+                del self._pending[command_id]
+                self._delivered.add(command_id)
+                self.delivered_order.append(command_id)
+                self._execute(command)
+                if self._on_delivered is not None:
+                    self._on_delivered(command)
+                delivered_now.append(command)
+                progress = True
+        return delivered_now
+
+    def retry_pending(self) -> List[Command]:
+        """Re-attempt delivery (used after external history mutations)."""
+        return self._drain()

@@ -1,0 +1,125 @@
+"""The per-node command history ``H_i`` (Section V-A of the paper).
+
+``H_i`` maps every command a node has heard about to a tuple
+``<c, T, Pred, status, ballot, forced>``.  The history additionally maintains
+a per-key index so the predecessor computation and the wait condition can
+find the commands conflicting with a given command without scanning
+everything the node has ever seen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.command import Command, CommandId
+from repro.consensus.timestamps import LogicalTimestamp
+
+
+class CommandStatus(enum.Enum):
+    """Lifecycle of a command inside ``H_i``."""
+
+    FAST_PENDING = "fast-pending"
+    SLOW_PENDING = "slow-pending"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    STABLE = "stable"
+
+    @property
+    def is_finalizing(self) -> bool:
+        """Statuses that release the wait condition (accepted or stable)."""
+        return self in (CommandStatus.ACCEPTED, CommandStatus.STABLE)
+
+    @property
+    def survived_proposal(self) -> bool:
+        """Statuses beyond the (rejectable) proposal phases."""
+        return self in (CommandStatus.SLOW_PENDING, CommandStatus.ACCEPTED, CommandStatus.STABLE)
+
+
+@dataclass
+class HistoryEntry:
+    """One row of ``H_i``: the node's knowledge about a single command."""
+
+    command: Command
+    timestamp: LogicalTimestamp
+    predecessors: Set[CommandId]
+    status: CommandStatus
+    ballot: Ballot
+    forced: bool = False
+
+    @property
+    def command_id(self) -> CommandId:
+        """Id of the command this entry describes."""
+        return self.command.command_id
+
+
+class CommandHistory:
+    """Mutable map from command id to :class:`HistoryEntry`, with a key index."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[CommandId, HistoryEntry] = {}
+        self._by_key: Dict[str, Set[CommandId]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, command_id: CommandId) -> bool:
+        return command_id in self._entries
+
+    def get(self, command_id: CommandId) -> Optional[HistoryEntry]:
+        """The entry for a command, or ``None`` if the node has never seen it."""
+        return self._entries.get(command_id)
+
+    def update(self, command: Command, timestamp: LogicalTimestamp,
+               predecessors: Iterable[CommandId], status: CommandStatus,
+               ballot: Ballot, forced: bool = False) -> HistoryEntry:
+        """Insert or replace the entry for ``command`` (the UPDATE of Section V-A)."""
+        entry = HistoryEntry(command=command, timestamp=timestamp,
+                             predecessors=set(predecessors), status=status,
+                             ballot=ballot, forced=forced)
+        self._entries[command.command_id] = entry
+        self._by_key.setdefault(command.key, set()).add(command.command_id)
+        return entry
+
+    def remove(self, command_id: CommandId) -> None:
+        """Forget a command (garbage collection once stable everywhere)."""
+        entry = self._entries.pop(command_id, None)
+        if entry is not None:
+            bucket = self._by_key.get(entry.command.key)
+            if bucket is not None:
+                bucket.discard(command_id)
+                if not bucket:
+                    del self._by_key[entry.command.key]
+
+    def entries(self) -> Iterator[HistoryEntry]:
+        """Iterate over every entry (order unspecified)."""
+        return iter(self._entries.values())
+
+    def conflicting_with(self, command: Command) -> Iterator[HistoryEntry]:
+        """Entries for commands that conflict with ``command`` (excluding itself)."""
+        for command_id in self._by_key.get(command.key, ()):  # same key = candidate conflict
+            if command_id == command.command_id:
+                continue
+            entry = self._entries[command_id]
+            if entry.command.conflicts_with(command):
+                yield entry
+
+    def predecessors_of(self, command_id: CommandId) -> Set[CommandId]:
+        """The GETPREDECESSORS accessor; empty set when the command is unknown."""
+        entry = self._entries.get(command_id)
+        if entry is None:
+            return set()
+        return set(entry.predecessors)
+
+    def status_of(self, command_id: CommandId) -> Optional[CommandStatus]:
+        """Status of a command, or ``None`` if unknown."""
+        entry = self._entries.get(command_id)
+        return entry.status if entry is not None else None
+
+    def stable_entries(self) -> Iterator[HistoryEntry]:
+        """Entries currently marked stable."""
+        for entry in self._entries.values():
+            if entry.status is CommandStatus.STABLE:
+                yield entry

@@ -1,0 +1,121 @@
+"""Wire messages exchanged by CAESAR replicas.
+
+Each message carries the command (or its id), the ballot identifying the
+current leader for that command, and phase-specific payload.  Predecessor
+sets travel as frozensets of command ids, never as command bodies: the paper
+notes that only ids need to be exchanged because every node eventually
+receives every command via its own PROPOSE/STABLE messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.command import Command, CommandId
+from repro.consensus.timestamps import LogicalTimestamp
+
+
+@dataclass(frozen=True)
+class FastPropose:
+    """Leader -> all: propose ``command`` at ``timestamp`` (fast proposal phase)."""
+
+    command: Command
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    whitelist: Optional[FrozenSet[CommandId]] = None
+
+
+@dataclass(frozen=True)
+class FastProposeReply:
+    """Acceptor -> leader: confirm (``ok=True``) or reject the fast proposal.
+
+    On rejection ``timestamp`` is the acceptor's suggested greater timestamp.
+    ``predecessors`` always reflects the acceptor's view of commands that must
+    precede the command.
+    """
+
+    command_id: CommandId
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    predecessors: FrozenSet[CommandId]
+    ok: bool
+
+
+@dataclass(frozen=True)
+class SlowPropose:
+    """Leader -> all: proposal re-issued on a classic quorum after a fast-quorum timeout."""
+
+    command: Command
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    predecessors: FrozenSet[CommandId]
+
+
+@dataclass(frozen=True)
+class SlowProposeReply:
+    """Acceptor -> leader: confirm or reject a slow proposal."""
+
+    command_id: CommandId
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    predecessors: FrozenSet[CommandId]
+    ok: bool
+
+
+@dataclass(frozen=True)
+class Retry:
+    """Leader -> all: ask acceptance of the retried timestamp (never rejected)."""
+
+    command: Command
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    predecessors: FrozenSet[CommandId]
+
+
+@dataclass(frozen=True)
+class RetryReply:
+    """Acceptor -> leader: acknowledgement of a retry, with extra predecessors."""
+
+    command_id: CommandId
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    predecessors: FrozenSet[CommandId]
+
+
+@dataclass(frozen=True)
+class Stable:
+    """Leader -> all: the command's final timestamp and predecessor set."""
+
+    command: Command
+    ballot: Ballot
+    timestamp: LogicalTimestamp
+    predecessors: FrozenSet[CommandId]
+
+
+@dataclass(frozen=True)
+class Recovery:
+    """Recovering node -> all: Paxos-like prepare for a suspected command."""
+
+    command: Command
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class RecoveryReply:
+    """Acceptor -> recovering node: the acceptor's current tuple for the command.
+
+    ``known`` is ``False`` when the acceptor has never seen the command (the
+    NOP case in the paper's pseudocode); the remaining fields are then
+    meaningless.
+    """
+
+    command_id: CommandId
+    ballot: Ballot
+    known: bool
+    entry_ballot: Optional[Ballot] = None
+    timestamp: Optional[LogicalTimestamp] = None
+    predecessors: FrozenSet[CommandId] = frozenset()
+    status: Optional[str] = None
+    forced: bool = False

@@ -1,0 +1,176 @@
+"""Predecessor computation and the wait condition.
+
+These are the two auxiliary functions of Figure 3 in the paper:
+
+* :func:`compute_predecessors` — the set of conflicting commands that must be
+  ordered before a command proposed at a given timestamp, optionally
+  constrained by a recovery whitelist.
+* :class:`WaitManager` — the WAIT function.  In the paper WAIT blocks the
+  acceptor thread; in the discrete-event simulation it is implemented as a
+  registry of *parked* proposals that are re-evaluated every time the status
+  or predecessor set of a conflicting command changes.  When the blocking
+  condition clears, the manager reports OK or NACK to a callback supplied by
+  the replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.consensus.command import Command, CommandId
+from repro.consensus.timestamps import LogicalTimestamp
+from repro.core.history import CommandHistory, CommandStatus
+
+
+def compute_predecessors(history: CommandHistory, command: Command,
+                         timestamp: LogicalTimestamp,
+                         whitelist: Optional[FrozenSet[CommandId]]) -> Set[CommandId]:
+    """COMPUTEPREDECESSORS from Figure 3.
+
+    With no whitelist, the predecessors of ``command`` at ``timestamp`` are
+    every conflicting command the node has seen with a smaller timestamp.
+
+    With a whitelist (only used during recovery of a possibly fast-decided
+    command), a conflicting command is a predecessor if it is in the
+    whitelist, or if it has progressed past the proposal phases
+    (slow-pending / accepted / stable) with a smaller timestamp.
+    """
+    predecessors: Set[CommandId] = set()
+    for entry in history.conflicting_with(command):
+        if whitelist is None:
+            if entry.timestamp < timestamp:
+                predecessors.add(entry.command_id)
+        else:
+            if entry.command_id in whitelist:
+                predecessors.add(entry.command_id)
+            elif entry.status.survived_proposal and entry.timestamp < timestamp:
+                predecessors.add(entry.command_id)
+    return predecessors
+
+
+@dataclass
+class _ParkedProposal:
+    """A proposal whose reply is delayed by the wait condition."""
+
+    command: Command
+    timestamp: LogicalTimestamp
+    on_resolved: Callable[[bool, float], None]
+    parked_at: float
+
+
+class WaitManager:
+    """Implements WAIT (Figure 3, lines 4-8) without blocking threads.
+
+    The manager is owned by a replica.  ``evaluate`` either resolves the
+    proposal immediately or parks it; ``notify_change(key)`` must be called by
+    the replica whenever a command on ``key`` changes status or predecessor
+    set, so parked proposals can be re-checked.
+
+    The resolution callback receives ``(ok, waited_ms)`` where ``ok`` is the
+    OK/NACK outcome of WAIT and ``waited_ms`` is how long the proposal was
+    parked (0 for immediate resolutions) — the latter feeds Figure 11(b).
+    """
+
+    def __init__(self, history: CommandHistory, now: Callable[[], float],
+                 enabled: bool = True) -> None:
+        self._history = history
+        self._now = now
+        self._enabled = enabled
+        self._parked_by_key: Dict[str, List[_ParkedProposal]] = {}
+        self.total_waits = 0
+        self.total_wait_ms = 0.0
+
+    # ------------------------------------------------------------ predicates
+
+    def _blockers(self, command: Command, timestamp: LogicalTimestamp) -> List:
+        """Conflicting commands that force ``command`` to keep waiting.
+
+        A conflicting command blocks when it has a greater timestamp, does not
+        list ``command`` among its predecessors, and has not yet reached an
+        accepted/stable status.
+        """
+        blockers = []
+        for entry in self._history.conflicting_with(command):
+            if entry.timestamp <= timestamp:
+                continue
+            if command.command_id in entry.predecessors:
+                continue
+            if not entry.status.is_finalizing:
+                blockers.append(entry)
+        return blockers
+
+    def _nack_witnesses(self, command: Command, timestamp: LogicalTimestamp) -> List:
+        """Conflicting accepted/stable commands that force a NACK after the wait."""
+        witnesses = []
+        for entry in self._history.conflicting_with(command):
+            if entry.timestamp <= timestamp:
+                continue
+            if command.command_id in entry.predecessors:
+                continue
+            if entry.status.is_finalizing:
+                witnesses.append(entry)
+        return witnesses
+
+    # -------------------------------------------------------------- main API
+
+    def evaluate(self, command: Command, timestamp: LogicalTimestamp,
+                 on_resolved: Callable[[bool, float], None]) -> None:
+        """Run WAIT for a proposal, resolving now or parking it.
+
+        Args:
+            command: the proposed command.
+            timestamp: the proposed timestamp.
+            on_resolved: called with ``(ok, waited_ms)`` once WAIT terminates.
+        """
+        blockers = self._blockers(command, timestamp)
+        if blockers and self._enabled:
+            parked = _ParkedProposal(command=command, timestamp=timestamp,
+                                     on_resolved=on_resolved, parked_at=self._now())
+            self._parked_by_key.setdefault(command.key, []).append(parked)
+            return
+        if blockers and not self._enabled:
+            # Ablation mode: a proposal that would have waited is rejected outright.
+            on_resolved(False, 0.0)
+            return
+        ok = not self._nack_witnesses(command, timestamp)
+        on_resolved(ok, 0.0)
+
+    def notify_change(self, key: str) -> None:
+        """Re-evaluate proposals parked on ``key`` after a history change."""
+        parked_list = self._parked_by_key.get(key)
+        if not parked_list:
+            return
+        still_parked: List[_ParkedProposal] = []
+        resolved: List[tuple] = []
+        for parked in parked_list:
+            blockers = self._blockers(parked.command, parked.timestamp)
+            if blockers:
+                still_parked.append(parked)
+                continue
+            waited = self._now() - parked.parked_at
+            ok = not self._nack_witnesses(parked.command, parked.timestamp)
+            resolved.append((parked, ok, waited))
+        if still_parked:
+            self._parked_by_key[key] = still_parked
+        else:
+            self._parked_by_key.pop(key, None)
+        for parked, ok, waited in resolved:
+            self.total_waits += 1
+            self.total_wait_ms += waited
+            parked.on_resolved(ok, waited)
+
+    def parked_count(self) -> int:
+        """Number of proposals currently delayed by the wait condition."""
+        return sum(len(v) for v in self._parked_by_key.values())
+
+    def drop_command(self, command_id: CommandId, key: str) -> None:
+        """Remove any parked proposal for a command (used on ballot preemption)."""
+        parked_list = self._parked_by_key.get(key)
+        if not parked_list:
+            return
+        remaining = [p for p in parked_list if p.command.command_id != command_id]
+        if remaining:
+            self._parked_by_key[key] = remaining
+        else:
+            self._parked_by_key.pop(key, None)

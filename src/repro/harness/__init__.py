@@ -1,0 +1,16 @@
+"""Experiment harness: cluster construction, workload drivers and figure reproduction."""
+
+from repro.harness.cluster import Cluster, ClusterConfig, build_cluster, PROTOCOLS
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.report import format_table
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "build_cluster",
+    "PROTOCOLS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "format_table",
+]

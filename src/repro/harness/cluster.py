@@ -1,0 +1,161 @@
+"""Cluster construction: wire a protocol's replicas onto the simulated substrate.
+
+A :class:`Cluster` bundles the simulator, network, topology and one replica
+per site for a chosen protocol.  The same builder serves the tests, the
+examples and every benchmark, so all experiments construct their systems in
+exactly one way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.consensus.interface import ConsensusReplica
+from repro.consensus.quorums import QuorumSystem
+from repro.core.caesar import CaesarReplica
+from repro.core.config import CaesarConfig
+from repro.kvstore.store import KeyValueStore
+from repro.sim.batching import BatchingConfig
+from repro.sim.costs import CostModel
+from repro.sim.failures import CrashInjector
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology, ec2_five_sites
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a protocol cluster.
+
+    Attributes:
+        protocol: registered protocol name (``caesar``, ``epaxos``,
+            ``multipaxos``, ``mencius``, ``m2paxos``).
+        topology: latency topology; defaults to the paper's five EC2 sites.
+        seed: simulation seed.
+        network: jitter / loss configuration.
+        cost_model: per-message CPU cost model.
+        batching: when set, every replica batches its outgoing messages with
+            this policy (the paper's "batching enabled" configuration).
+        protocol_options: protocol-specific keyword arguments forwarded to the
+            replica constructor (e.g. ``{"config": CaesarConfig(...)}`` or
+            ``{"leader_id": 3}`` for Multi-Paxos).
+    """
+
+    protocol: str = "caesar"
+    topology: Optional[Topology] = None
+    seed: int = 1
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cost_model: Optional[CostModel] = None
+    batching: Optional[BatchingConfig] = None
+    protocol_options: Dict[str, object] = field(default_factory=dict)
+
+
+class Cluster:
+    """A running set of replicas of one protocol plus the simulation substrate."""
+
+    def __init__(self, config: ClusterConfig, sim: Simulator, network: Network,
+                 topology: Topology, replicas: List[ConsensusReplica]) -> None:
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.replicas = replicas
+        self.crash_injector = CrashInjector(sim, {r.node_id: r for r in replicas})
+
+    @property
+    def size(self) -> int:
+        """Number of replicas."""
+        return len(self.replicas)
+
+    def replica(self, node_id: int) -> ConsensusReplica:
+        """Replica hosted at node index ``node_id``."""
+        return self.replicas[node_id]
+
+    def replica_at(self, site: str) -> ConsensusReplica:
+        """Replica hosted at the named site."""
+        return self.replicas[self.topology.index_of(site)]
+
+    def start(self) -> None:
+        """Start per-replica background machinery (failure detectors etc.)."""
+        for replica in self.replicas:
+            start = getattr(replica, "start", None)
+            if callable(start):
+                start()
+
+    def run(self, duration_ms: float) -> None:
+        """Advance the simulation by ``duration_ms`` of virtual time."""
+        self.sim.run(until=self.sim.now + duration_ms)
+
+    def run_until_quiescent(self, max_ms: Optional[float] = None) -> None:
+        """Run until no events remain (or until the optional time bound)."""
+        until = None if max_ms is None else self.sim.now + max_ms
+        self.sim.run(until=until)
+
+    def all_executed(self, command_ids) -> bool:
+        """Whether every live replica has executed every given command."""
+        for replica in self.replicas:
+            if replica.crashed:
+                continue
+            for command_id in command_ids:
+                if not replica.has_executed(command_id):
+                    return False
+        return True
+
+    def check_consistency(self) -> List[tuple]:
+        """Cross-check execution logs of all live replicas.
+
+        Returns the list of conflicting-order violations (empty when the run
+        satisfies Generalized Consensus consistency).
+        """
+        violations: List[tuple] = []
+        live = [r for r in self.replicas if not r.crashed]
+        for i, first in enumerate(live):
+            for second in live[i + 1:]:
+                violations.extend(first.execution_log.conflicting_order_violations(
+                    second.execution_log))
+        return violations
+
+    def total_executed(self) -> int:
+        """Total number of command executions across live replicas."""
+        return sum(r.commands_executed for r in self.replicas if not r.crashed)
+
+
+def _build_caesar(node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                  options: Dict[str, object], cost_model: Optional[CostModel]) -> ConsensusReplica:
+    return CaesarReplica(node_id, sim, network, quorums, KeyValueStore(),
+                         config=options.get("config", CaesarConfig()), cost_model=cost_model)
+
+
+#: Registry of protocol builders; the baseline protocols register themselves
+#: at import time in :mod:`repro.harness.protocols`.
+PROTOCOLS: Dict[str, Callable] = {"caesar": _build_caesar}
+
+
+def register_protocol(name: str, builder: Callable) -> None:
+    """Add a protocol builder to the registry (used by the baselines)."""
+    PROTOCOLS[name] = builder
+
+
+def build_cluster(config: Optional[ClusterConfig] = None) -> Cluster:
+    """Construct a cluster for the configured protocol on the configured topology."""
+    # Importing the baseline registrations lazily avoids a circular import
+    # between the harness and the protocol packages.
+    from repro.harness import protocols as _protocols  # noqa: F401
+
+    config = config or ClusterConfig()
+    if config.protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {config.protocol!r}; known: {sorted(PROTOCOLS)}")
+    topology = config.topology or ec2_five_sites()
+    sim = Simulator(seed=config.seed)
+    network = Network(sim, topology, config.network)
+    quorums = QuorumSystem.for_cluster(topology.size)
+    builder = PROTOCOLS[config.protocol]
+    replicas = [builder(node_id, sim, network, quorums, dict(config.protocol_options),
+                        config.cost_model)
+                for node_id in range(topology.size)]
+    if config.batching is not None:
+        for replica in replicas:
+            replica.enable_batching(config.batching)
+    cluster = Cluster(config, sim, network, topology, replicas)
+    return cluster

@@ -1,0 +1,54 @@
+"""Protocol registry glue: register every baseline with the cluster builder.
+
+Importing this module makes all protocols available to
+:func:`repro.harness.cluster.build_cluster` under their canonical names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.epaxos import EPaxosReplica
+from repro.baselines.m2paxos import M2PaxosReplica
+from repro.baselines.mencius import MenciusReplica
+from repro.baselines.multipaxos import MultiPaxosReplica
+from repro.consensus.interface import ConsensusReplica
+from repro.consensus.quorums import QuorumSystem
+from repro.harness.cluster import register_protocol
+from repro.kvstore.store import KeyValueStore
+from repro.sim.costs import CostModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+def _build_epaxos(node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                  options: Dict[str, object], cost_model: Optional[CostModel]) -> ConsensusReplica:
+    return EPaxosReplica(node_id, sim, network, quorums, KeyValueStore(),
+                         cost_model=cost_model, **options)
+
+
+def _build_multipaxos(node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                      options: Dict[str, object],
+                      cost_model: Optional[CostModel]) -> ConsensusReplica:
+    return MultiPaxosReplica(node_id, sim, network, quorums, KeyValueStore(),
+                             cost_model=cost_model, **options)
+
+
+def _build_mencius(node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                   options: Dict[str, object],
+                   cost_model: Optional[CostModel]) -> ConsensusReplica:
+    return MenciusReplica(node_id, sim, network, quorums, KeyValueStore(),
+                          cost_model=cost_model, **options)
+
+
+def _build_m2paxos(node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                   options: Dict[str, object],
+                   cost_model: Optional[CostModel]) -> ConsensusReplica:
+    return M2PaxosReplica(node_id, sim, network, quorums, KeyValueStore(),
+                          cost_model=cost_model, **options)
+
+
+register_protocol("epaxos", _build_epaxos)
+register_protocol("multipaxos", _build_multipaxos)
+register_protocol("mencius", _build_mencius)
+register_protocol("m2paxos", _build_m2paxos)

@@ -1,0 +1,56 @@
+"""Plain-text reporting helpers for benchmark output.
+
+The benchmark harness regenerates the paper's figures as text tables (rows =
+x-axis values, columns = systems or sites), which is what ends up in
+``EXPERIMENTS.md`` and in the pytest-benchmark console output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        title: table caption printed above the grid.
+        headers: column names.
+        rows: row values; ``None`` cells render as ``-``; floats are rendered
+            with one decimal digit.
+    """
+    def fmt(cell: object) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    materialized: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [title, render_row([str(h) for h in headers]),
+             "-+-".join("-" * width for width in widths)]
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, Dict[object, Optional[float]]],
+                  x_label: str = "x") -> str:
+    """Render a dict-of-dicts ``{series_name: {x: y}}`` as a table keyed by x."""
+    xs: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x) for name in series])
+    return format_table(title, headers, rows)

@@ -1,0 +1,28 @@
+"""Abstract state machine applied by consensus replicas."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.consensus.command import Command
+
+
+class StateMachine:
+    """Interface for deterministic state machines driven by decided commands.
+
+    Implementations must be deterministic: applying the same sequence of
+    commands on two replicas must produce identical state and identical
+    return values, otherwise replication is meaningless.
+    """
+
+    def apply(self, command: Command) -> Optional[str]:
+        """Apply one command and return its result (visible to the client)."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """Return a serializable snapshot of the full state (for checks/tests)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear all state (used when re-initialising a replica in tests)."""
+        raise NotImplementedError

@@ -1,0 +1,13 @@
+"""Metrics collection and summary statistics for experiments."""
+
+from repro.metrics.collector import MetricsCollector, CommandSample
+from repro.metrics.stats import LatencySummary, summarize_latencies, percentile, throughput_timeline
+
+__all__ = [
+    "MetricsCollector",
+    "CommandSample",
+    "LatencySummary",
+    "summarize_latencies",
+    "percentile",
+    "throughput_timeline",
+]

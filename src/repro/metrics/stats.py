@@ -1,0 +1,95 @@
+"""Summary statistics helpers (percentiles, latency summaries, time series)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``fraction`` in [0, 1].
+
+    Raises ``ValueError`` on an empty input so silent zeros never leak into
+    experiment reports.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    interpolated = ordered[lower] * (1 - weight) + ordered[upper] * weight
+    # Clamp away floating-point drift so the result never leaves the bracket.
+    return min(max(interpolated, ordered[lower]), ordered[upper])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate view of a set of latency samples (milliseconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f}ms median={self.median:.1f}ms "
+                f"p95={self.p95:.1f}ms p99={self.p99:.1f}ms")
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw samples."""
+    if not values:
+        raise ValueError("cannot summarize an empty latency list")
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        median=percentile(values, 0.5),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def throughput_timeline(completion_times_ms: Sequence[float], bucket_ms: float = 1000.0,
+                        start_ms: float = 0.0,
+                        end_ms: float | None = None) -> List[Tuple[float, float]]:
+    """Bucket completion timestamps into a throughput time series.
+
+    Args:
+        completion_times_ms: virtual times at which commands completed.
+        bucket_ms: bucket width.
+        start_ms: timeline origin.
+        end_ms: optional timeline end; defaults to the last completion.
+
+    Returns:
+        List of ``(bucket_start_ms, commands_per_second)`` pairs.
+    """
+    if bucket_ms <= 0:
+        raise ValueError("bucket_ms must be positive")
+    if end_ms is None:
+        end_ms = max(completion_times_ms, default=start_ms)
+    buckets: Dict[int, int] = {}
+    for completion in completion_times_ms:
+        if completion < start_ms or completion > end_ms:
+            continue
+        buckets[int((completion - start_ms) // bucket_ms)] = (
+            buckets.get(int((completion - start_ms) // bucket_ms), 0) + 1)
+    n_buckets = int((end_ms - start_ms) // bucket_ms) + 1
+    series = []
+    for index in range(n_buckets):
+        count = buckets.get(index, 0)
+        series.append((start_ms + index * bucket_ms, count * 1000.0 / bucket_ms))
+    return series

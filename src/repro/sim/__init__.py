@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate for geo-replicated protocols.
+
+This package provides everything the consensus protocols need to run as if
+they were deployed across wide-area sites, but inside a single deterministic
+process:
+
+* :class:`repro.sim.simulator.Simulator` -- the event loop (virtual time in
+  milliseconds).
+* :class:`repro.sim.network.Network` -- message passing with per-pair
+  latencies, jitter, message loss and partitions.
+* :class:`repro.sim.node.Node` -- the process abstraction protocols subclass:
+  timers, message handlers, a serial CPU model, crash/restart.
+* :mod:`repro.sim.topology` -- latency matrices, including the five Amazon
+  EC2 sites used in the paper's evaluation.
+* :mod:`repro.sim.failures` -- crash injection and an eventually-accurate
+  failure detector.
+"""
+
+from repro.sim.simulator import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.topology import Topology, ec2_five_sites, uniform_topology, lan_topology
+from repro.sim.failures import CrashInjector, FailureDetector
+from repro.sim.costs import CostModel
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "Topology",
+    "ec2_five_sites",
+    "uniform_topology",
+    "lan_topology",
+    "CrashInjector",
+    "FailureDetector",
+    "CostModel",
+]

@@ -1,0 +1,79 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at a virtual time.  Events compare
+by ``(time, priority, sequence)`` so that simultaneous events are processed
+in a deterministic order (FIFO within the same priority).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback in the simulation.
+
+    Attributes:
+        time: virtual time (milliseconds) at which the event fires.
+        priority: lower values fire first among events at the same time.
+        seq: monotonically increasing tie-breaker assigned by the queue.
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is ignored when it reaches the queue head."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects keyed by virtual time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at ``time`` and return a cancellable handle."""
+        event = Event(time=time, priority=priority, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Return the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._live -= 1
+            if event.cancelled:
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._live -= 1
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,156 @@
+"""Simulated wide-area network.
+
+The network delivers messages between registered nodes with per-pair one-way
+delays derived from a :class:`repro.sim.topology.Topology`, optional gaussian
+jitter, optional message loss, and optional partitions.  Crashed destination
+nodes silently drop messages, exactly like a dead TCP peer would from the
+sender's point of view (the sender never gets an error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+
+
+@dataclass
+class NetworkConfig:
+    """Tunables for the simulated network.
+
+    Attributes:
+        jitter_ms: standard deviation of gaussian jitter added to each one-way
+            delay (clamped so delays never go below 5% of the nominal value).
+        drop_probability: independent probability that a message is lost.
+        min_delay_ms: hard floor for any one-way delay.
+    """
+
+    jitter_ms: float = 0.0
+    drop_probability: float = 0.0
+    min_delay_ms: float = 0.01
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing everything the network did during a run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_to_crashed: int = 0
+    messages_partitioned: int = 0
+    bytes_sent: int = 0
+    per_type_sent: Dict[str, int] = field(default_factory=dict)
+
+
+class Network:
+    """Message-passing fabric connecting simulated nodes.
+
+    Args:
+        sim: the discrete-event simulator providing the clock.
+        topology: per-pair latencies.
+        config: jitter/loss configuration.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology, config: Optional[NetworkConfig] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.stats = NetworkStats()
+        self._nodes: Dict[int, "NodeLike"] = {}
+        self._rng = sim.rng.fork("network")
+        self._partitions: Set[Tuple[int, int]] = set()
+        self._delay_override: Optional[Callable[[int, int, float], float]] = None
+
+    def register(self, node: "NodeLike") -> None:
+        """Attach a node so it can send and receive messages."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "NodeLike":
+        """Return the registered node with the given id."""
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> list:
+        """All registered node ids, in registration order."""
+        return list(self._nodes.keys())
+
+    def set_delay_override(self, fn: Optional[Callable[[int, int, float], float]]) -> None:
+        """Install a hook ``(src, dst, nominal_delay) -> delay`` for experiments."""
+        self._delay_override = fn
+
+    def partition(self, group_a: Set[int], group_b: Set[int]) -> None:
+        """Cut connectivity between every node in ``group_a`` and every node in ``group_b``."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add((a, b))
+                self._partitions.add((b, a))
+
+    def heal_partitions(self) -> None:
+        """Restore full connectivity."""
+        self._partitions.clear()
+
+    def is_partitioned(self, src: int, dst: int) -> bool:
+        """True if messages from ``src`` to ``dst`` are currently blocked."""
+        return (src, dst) in self._partitions
+
+    def delay(self, src: int, dst: int) -> float:
+        """Sample the one-way delay for a message from ``src`` to ``dst``."""
+        nominal = self.topology.one_way(src, dst)
+        if self._delay_override is not None:
+            nominal = self._delay_override(src, dst, nominal)
+        if self.config.jitter_ms > 0 and src != dst:
+            nominal += self._rng.gauss(0.0, self.config.jitter_ms)
+        return max(self.config.min_delay_ms, nominal)
+
+    def send(self, src: int, dst: int, message: object, size_bytes: int = 64) -> None:
+        """Send ``message`` from node ``src`` to node ``dst``.
+
+        Delivery is asynchronous; loss, partitions and crashed receivers all
+        result in the message silently disappearing.
+        """
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        type_name = type(message).__name__
+        self.stats.per_type_sent[type_name] = self.stats.per_type_sent.get(type_name, 0) + 1
+
+        if self.is_partitioned(src, dst):
+            self.stats.messages_partitioned += 1
+            return
+        if self.config.drop_probability > 0 and self._rng.random() < self.config.drop_probability:
+            self.stats.messages_dropped += 1
+            return
+
+        delay = self.delay(src, dst)
+
+        def deliver() -> None:
+            node = self._nodes.get(dst)
+            if node is None or node.crashed:
+                self.stats.messages_to_crashed += 1
+                return
+            self.stats.messages_delivered += 1
+            node.receive(src, message)
+
+        self.sim.schedule(delay, deliver)
+
+    def broadcast(self, src: int, message: object, include_self: bool = True, size_bytes: int = 64) -> None:
+        """Send ``message`` from ``src`` to every registered node."""
+        for dst in self._nodes:
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, message, size_bytes=size_bytes)
+
+
+class NodeLike:
+    """Protocol (duck-typed) interface the network expects from nodes."""
+
+    node_id: int
+    crashed: bool
+
+    def receive(self, src: int, message: object) -> None:
+        """Accept an incoming message from ``src``."""
+        raise NotImplementedError

@@ -1,0 +1,201 @@
+"""Simulated process abstraction.
+
+A :class:`Node` is one replica of a protocol.  It provides:
+
+* message sending/broadcast through the shared :class:`~repro.sim.network.Network`;
+* a serial CPU: incoming messages are processed one at a time, each charging
+  the cost given by the node's :class:`~repro.sim.costs.CostModel`, so that a
+  node under load builds a queue and saturates (this is what bounds
+  throughput in the Figure 8/9 experiments);
+* timers (:meth:`set_timer`);
+* crash and restart hooks used by the recovery experiment (Figure 12).
+
+Protocol implementations subclass :class:`Node` and implement
+:meth:`handle_message`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.batching import BatchBuffer, BatchingConfig, MessageBatch
+from repro.sim.costs import CostModel
+from repro.sim.events import Event
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """Handle for a scheduled timer, cancellable before it fires."""
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the timer callback from running."""
+        self._event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+
+class Node:
+    """Base class for all simulated replicas.
+
+    Args:
+        node_id: index of this node within the cluster (also its network address).
+        sim: the shared simulator.
+        network: the shared network; the node registers itself on construction.
+        cost_model: CPU cost model; ``None`` means a default (cheap) model.
+    """
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 cost_model: Optional[CostModel] = None,
+                 batching: Optional[BatchingConfig] = None) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.cost_model = cost_model or CostModel()
+        self.crashed = False
+        self._cpu_free_at = 0.0
+        self.cpu_busy_ms = 0.0
+        self.messages_handled = 0
+        self.batching = batching
+        self._batch_buffer = BatchBuffer(batching) if batching is not None else None
+        self._flush_scheduled: Dict[int, bool] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------ I/O
+
+    def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
+        """Send a message to another node (or to self through the network).
+
+        With batching enabled, the message is buffered per destination and
+        flushed when the batching window expires or the batch fills up;
+        self-addressed messages are never delayed by batching.
+        """
+        if self.crashed:
+            return
+        if self._batch_buffer is None or dst == self.node_id:
+            self.network.send(self.node_id, dst, message, size_bytes=size_bytes)
+            return
+        full = self._batch_buffer.add(dst, message, size_bytes)
+        if full:
+            self._flush_destination(dst)
+        elif not self._flush_scheduled.get(dst):
+            self._flush_scheduled[dst] = True
+            self.set_timer(self.batching.window_ms, lambda: self._flush_destination(dst))
+
+    def enable_batching(self, config: BatchingConfig) -> None:
+        """Turn on per-destination batching for this node's outgoing messages."""
+        self.batching = config
+        self._batch_buffer = BatchBuffer(config)
+
+    def _flush_destination(self, dst: int) -> None:
+        """Send the buffered batch for ``dst`` (if any) as one wire message."""
+        self._flush_scheduled[dst] = False
+        if self._batch_buffer is None or not self._batch_buffer.has_pending(dst):
+            return
+        batch, size_bytes = self._batch_buffer.drain(dst)
+        self.network.send(self.node_id, dst, batch, size_bytes=size_bytes)
+
+    def flush_all_batches(self) -> None:
+        """Flush every destination's buffered batch immediately."""
+        if self._batch_buffer is None:
+            return
+        for dst in self._batch_buffer.destinations():
+            self._flush_destination(dst)
+
+    def broadcast(self, message: object, include_self: bool = True, size_bytes: int = 64) -> None:
+        """Send a message to every node in the cluster."""
+        if self.crashed:
+            return
+        for dst in self.network.node_ids:
+            if dst == self.node_id and not include_self:
+                continue
+            self.send(dst, message, size_bytes=size_bytes)
+
+    def receive(self, src: int, message: object) -> None:
+        """Entry point used by the network when a message arrives.
+
+        The message is queued behind any CPU work already in progress, then
+        dispatched to :meth:`handle_message`.  Message batches are unpacked
+        here: the envelope costs one full message, each inner message a
+        discounted marginal cost.
+        """
+        if self.crashed:
+            return
+        local = src == self.node_id
+        if isinstance(message, MessageBatch):
+            factor = (self.batching.marginal_cost_factor
+                      if self.batching is not None else 1.0)
+            cost = self.cost_model.message_cost(message, local=local)
+            cost += sum(self.cost_model.message_cost(inner, local=local) * factor
+                        for inner in message.messages)
+            inner_messages = list(message.messages)
+        else:
+            cost = self.cost_model.message_cost(message, local=local)
+            inner_messages = [message]
+        start = max(self.sim.now, self._cpu_free_at)
+        finish = start + cost
+        self._cpu_free_at = finish
+        self.cpu_busy_ms += cost
+
+        def dispatch() -> None:
+            if self.crashed:
+                return
+            for inner in inner_messages:
+                self.messages_handled += 1
+                self.handle_message(src, inner)
+
+        self.sim.schedule(finish - self.sim.now, dispatch)
+
+    def consume_cpu(self, milliseconds: float) -> None:
+        """Charge extra CPU time to this node (e.g. dependency-graph analysis)."""
+        if milliseconds <= 0:
+            return
+        self._cpu_free_at = max(self._cpu_free_at, self.sim.now) + milliseconds
+        self.cpu_busy_ms += milliseconds
+
+    @property
+    def cpu_backlog_ms(self) -> float:
+        """How far in the future this node's CPU is already committed."""
+        return max(0.0, self._cpu_free_at - self.sim.now)
+
+    # ---------------------------------------------------------------- timers
+
+    def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay_ms`` of virtual time unless cancelled or crashed."""
+
+        def fire() -> None:
+            if not self.crashed:
+                callback()
+
+        return Timer(self.sim.schedule(delay_ms, fire))
+
+    # ----------------------------------------------------------- life cycle
+
+    def crash(self) -> None:
+        """Crash the node: it stops sending, receiving and firing timers."""
+        self.crashed = True
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring a crashed node back with whatever durable state the protocol kept."""
+        self.crashed = False
+        self._cpu_free_at = self.sim.now
+        self.on_restart()
+
+    # ------------------------------------------------------- protocol hooks
+
+    def handle_message(self, src: int, message: object) -> None:
+        """Process one message; implemented by protocol subclasses."""
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        """Hook invoked when the node crashes (default: nothing)."""
+
+    def on_restart(self) -> None:
+        """Hook invoked when the node restarts (default: nothing)."""

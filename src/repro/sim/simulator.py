@@ -1,0 +1,133 @@
+"""The discrete-event simulator driving all protocol executions.
+
+Virtual time is expressed in **milliseconds** as floats.  The simulator is
+purely deterministic: given the same seed and the same sequence of
+``schedule`` calls, every run produces the same interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import DeterministicRandom
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    The simulator owns the virtual clock and the event queue.  Protocol nodes
+    and the network never read wall-clock time; everything is expressed as
+    virtual milliseconds relative to ``now``.
+
+    Args:
+        seed: seed for the simulator-owned random number generator, used by
+            the network for jitter and loss and by workloads for arrivals.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self.rng = DeterministicRandom(seed)
+        self._steps = 0
+        self._max_steps: Optional[int] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire (upper bound, includes cancelled)."""
+        return len(self._queue)
+
+    @property
+    def steps_executed(self) -> int:
+        """Number of events executed so far."""
+        return self._steps
+
+    def schedule(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` to run ``delay`` milliseconds from now.
+
+        Args:
+            delay: non-negative delay in virtual milliseconds.
+            callback: zero-argument callable.
+            priority: lower priorities fire earlier among simultaneous events.
+
+        Returns:
+            A cancellable :class:`Event` handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, priority)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, callback, priority)
+
+    def set_max_steps(self, max_steps: Optional[int]) -> None:
+        """Abort a run after ``max_steps`` events (safety valve for tests)."""
+        self._max_steps = max_steps
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event time moved backwards")
+        self._now = event.time
+        self._steps += 1
+        event.callback()
+        if self._max_steps is not None and self._steps > self._max_steps:
+            raise SimulationError(f"exceeded max_steps={self._max_steps}")
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until`` at
+        the end of the run, even if the last event fired earlier.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if not self.step():
+                break
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until(self, predicate: Callable[[], bool], deadline: Optional[float] = None) -> bool:
+        """Run until ``predicate()`` is true.
+
+        Args:
+            predicate: evaluated after every event.
+            deadline: optional absolute virtual-time bound.
+
+        Returns:
+            ``True`` if the predicate was satisfied, ``False`` if the queue
+            drained or the deadline passed first.
+        """
+        if predicate():
+            return True
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return predicate()
+            if deadline is not None and next_time > deadline:
+                self._now = deadline
+                return predicate()
+            if not self.step():
+                return predicate()
+            if predicate():
+                return True

@@ -1,0 +1,208 @@
+"""Simulated clients driving the consensus replicas.
+
+Two arrival models, matching the paper's methodology:
+
+* :class:`ClosedLoopClient` — keeps exactly one command outstanding; used for
+  the latency experiments ("we issued requests in a closed loop by placing 10
+  clients co-located with each node").
+* :class:`OpenLoopClient` — injects commands at a target rate regardless of
+  completions; used for the throughput experiments.
+
+Both record completed-command latencies into a shared
+:class:`~repro.metrics.collector.MetricsCollector`, and both support
+re-targeting to another replica when the original one crashes (the Figure 12
+client-reconnection behaviour).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.consensus.command import Command, CommandResult
+from repro.consensus.interface import ConsensusReplica
+from repro.metrics.collector import MetricsCollector
+from repro.sim.random import DeterministicRandom
+from repro.sim.simulator import Simulator
+from repro.workload.generator import ConflictWorkload
+
+
+class ClosedLoopClient:
+    """A client that always has exactly one outstanding command.
+
+    Args:
+        client_id: unique id (also used in command ids).
+        replica: replica the client submits to (its "local" site).
+        workload: command generator for this client.
+        sim: shared simulator.
+        metrics: collector receiving per-command latency samples.
+        think_time_ms: optional pause between completing one command and
+            submitting the next (0 reproduces the paper's setup).
+        reconnect_timeout_ms: if a command does not complete within this time
+            (e.g. the replica crashed), the client re-submits a fresh command
+            to another replica.
+        fallback_replicas: replicas to reconnect to after a timeout.
+    """
+
+    def __init__(self, client_id: int, replica: ConsensusReplica, workload: ConflictWorkload,
+                 sim: Simulator, metrics: MetricsCollector, think_time_ms: float = 0.0,
+                 reconnect_timeout_ms: Optional[float] = None,
+                 fallback_replicas: Optional[List[ConsensusReplica]] = None) -> None:
+        self.client_id = client_id
+        self.replica = replica
+        self.workload = workload
+        self.sim = sim
+        self.metrics = metrics
+        self.think_time_ms = think_time_ms
+        self.reconnect_timeout_ms = reconnect_timeout_ms
+        self.fallback_replicas = fallback_replicas or []
+        self.completed = 0
+        self.timeouts = 0
+        self._running = False
+        self._outstanding_seq: Optional[int] = None
+
+    def start(self) -> None:
+        """Begin the submit/complete loop."""
+        self._running = True
+        self._submit_next()
+
+    def stop(self) -> None:
+        """Stop after the current command completes."""
+        self._running = False
+
+    def _submit_next(self) -> None:
+        if not self._running:
+            return
+        command = self.workload.next_command()
+        if command.origin != self.replica.node_id:
+            # The client reconnected to a different replica after a crash.
+            command = dataclasses.replace(command, origin=self.replica.node_id)
+        submitted_at = self.sim.now
+        self._outstanding_seq = command.command_id[1]
+
+        def on_result(result: CommandResult, cmd: Command = command,
+                      started: float = submitted_at) -> None:
+            if self._outstanding_seq != cmd.command_id[1]:
+                return  # A reconnection already replaced this command.
+            self._outstanding_seq = None
+            self.completed += 1
+            self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
+                                        latency_ms=self.sim.now - started,
+                                        completed_at=self.sim.now, key=cmd.key)
+            if self.think_time_ms > 0:
+                self.sim.schedule(self.think_time_ms, self._submit_next)
+            else:
+                self._submit_next()
+
+        self.replica.submit(command, callback=on_result)
+        if self.reconnect_timeout_ms is not None:
+            sequence = command.command_id[1]
+            self.sim.schedule(self.reconnect_timeout_ms,
+                              lambda: self._maybe_reconnect(sequence))
+
+    def _maybe_reconnect(self, sequence: int) -> None:
+        """Re-target to a live replica when the outstanding command timed out."""
+        if not self._running or self._outstanding_seq != sequence:
+            return
+        self.timeouts += 1
+        self._outstanding_seq = None
+        live = [replica for replica in self.fallback_replicas if not replica.crashed]
+        if self.replica.crashed and live:
+            self.replica = live[0]
+        self._submit_next()
+
+
+class OpenLoopClient:
+    """A client injecting commands at a fixed average rate (Poisson arrivals).
+
+    Args:
+        client_id: unique id.
+        replica: replica the client submits to.
+        workload: command generator.
+        sim: shared simulator.
+        metrics: collector receiving latency samples.
+        rate_per_second: average injection rate.
+        rng: random stream for exponential inter-arrival times.
+        stop_after_ms: stop injecting after this much virtual time (optional).
+    """
+
+    def __init__(self, client_id: int, replica: ConsensusReplica, workload: ConflictWorkload,
+                 sim: Simulator, metrics: MetricsCollector, rate_per_second: float,
+                 rng: DeterministicRandom, stop_after_ms: Optional[float] = None) -> None:
+        self.client_id = client_id
+        self.replica = replica
+        self.workload = workload
+        self.sim = sim
+        self.metrics = metrics
+        self.rate_per_second = rate_per_second
+        self.rng = rng
+        self.stop_after_ms = stop_after_ms
+        self.submitted = 0
+        self.completed = 0
+        self._running = False
+        self._started_at = 0.0
+
+    def start(self) -> None:
+        """Begin injecting commands."""
+        self._running = True
+        self._started_at = self.sim.now
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop injecting (outstanding commands still complete)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        rate_per_ms = self.rate_per_second / 1000.0
+        delay = self.rng.expovariate(rate_per_ms) if rate_per_ms > 0 else float("inf")
+        self.sim.schedule(delay, self._inject)
+
+    def _inject(self) -> None:
+        if not self._running:
+            return
+        if (self.stop_after_ms is not None
+                and self.sim.now - self._started_at >= self.stop_after_ms):
+            self._running = False
+            return
+        command = self.workload.next_command()
+        submitted_at = self.sim.now
+        self.submitted += 1
+
+        def on_result(result: CommandResult, cmd: Command = command,
+                      started: float = submitted_at) -> None:
+            self.completed += 1
+            self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
+                                        latency_ms=self.sim.now - started,
+                                        completed_at=self.sim.now, key=cmd.key)
+
+        self.replica.submit(command, callback=on_result)
+        self._schedule_next()
+
+
+@dataclass
+class ClientPool:
+    """A named collection of clients started and stopped together."""
+
+    clients: List[object] = field(default_factory=list)
+
+    def add(self, client) -> None:
+        """Add a client to the pool."""
+        self.clients.append(client)
+
+    def start_all(self) -> None:
+        """Start every client in the pool."""
+        for client in self.clients:
+            client.start()
+
+    def stop_all(self) -> None:
+        """Stop every client in the pool."""
+        for client in self.clients:
+            client.stop()
+
+    @property
+    def total_completed(self) -> int:
+        """Total commands completed across the pool."""
+        return sum(client.completed for client in self.clients)

@@ -1,0 +1,78 @@
+"""Shared pytest fixtures for the CAESAR reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.command import Command
+from repro.consensus.quorums import QuorumSystem
+from repro.core.caesar import CaesarReplica
+from repro.core.config import CaesarConfig
+from repro.kvstore.store import KeyValueStore
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.simulator import Simulator
+from repro.sim.topology import ec2_five_sites, uniform_topology
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def topology():
+    """The paper's five-site EC2 topology."""
+    return ec2_five_sites()
+
+
+@pytest.fixture
+def network(sim, topology) -> Network:
+    """A network over the EC2 topology with no jitter or loss."""
+    return Network(sim, topology, NetworkConfig())
+
+
+@pytest.fixture
+def quorums() -> QuorumSystem:
+    """Quorum sizes for the five-node cluster."""
+    return QuorumSystem.for_cluster(5)
+
+
+def make_command(client: int, seq: int, key: str = "k", origin: int = 0,
+                 operation: str = "put") -> Command:
+    """Convenience constructor for test commands."""
+    return Command(command_id=(client, seq), key=key, operation=operation,
+                   value=f"v{client}.{seq}", origin=origin)
+
+
+@pytest.fixture
+def make_cmd():
+    """Fixture exposing the command factory to tests."""
+    return make_command
+
+
+def build_caesar_cluster(n: int = 5, seed: int = 1, recovery: bool = False,
+                         wait_condition: bool = True, topology=None,
+                         fast_timeout_ms: float = 400.0):
+    """Build a CAESAR cluster directly (without the harness) for protocol tests.
+
+    Returns ``(sim, network, replicas)``.
+    """
+    topology = topology or (ec2_five_sites() if n == 5 else uniform_topology(n, rtt_ms=40.0))
+    sim = Simulator(seed=seed)
+    network = Network(sim, topology)
+    quorums = QuorumSystem.for_cluster(n)
+    config = CaesarConfig(recovery_enabled=recovery, wait_condition_enabled=wait_condition,
+                          fast_proposal_timeout_ms=fast_timeout_ms)
+    replicas = [CaesarReplica(i, sim, network, quorums, KeyValueStore(), config=config)
+                for i in range(n)]
+    if recovery:
+        for replica in replicas:
+            replica.start()
+    return sim, network, replicas
+
+
+@pytest.fixture
+def caesar_cluster():
+    """Factory fixture for CAESAR clusters."""
+    return build_caesar_cluster

@@ -1,0 +1,61 @@
+"""Tests for the ``caesar-repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURE_DRIVERS, QUICK_OVERRIDES, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "caesar"
+        assert args.conflicts == 0.0
+        assert args.clients == 10
+        assert not args.batching
+
+    def test_run_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "raft"])
+
+    def test_figure_rejects_unknown_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+    def test_every_figure_has_a_quick_profile(self):
+        assert set(FIGURE_DRIVERS) == set(QUICK_OVERRIDES)
+
+
+class TestCommands:
+    def test_topology_command(self, capsys):
+        assert main(["topology"]) == 0
+        output = capsys.readouterr().out
+        for site in ("virginia", "mumbai", "frankfurt"):
+            assert site in output
+
+    def test_run_command_small(self, capsys):
+        code = main(["run", "--protocol", "caesar", "--conflicts", "10", "--clients", "2",
+                     "--duration", "1500"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "throughput" in output
+        assert "mean latency" in output
+        assert "consistency violations: 0" in output
+
+    def test_run_command_with_batching_and_throughput_model(self, capsys):
+        code = main(["run", "--protocol", "epaxos", "--clients", "2", "--duration", "1200",
+                     "--batching", "--throughput"])
+        assert code == 0
+        assert "commands/s" in capsys.readouterr().out
+
+    def test_figure_seven_quick(self, capsys):
+        code = main(["figure", "7", "--quick"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "IN" in output

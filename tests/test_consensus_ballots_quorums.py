@@ -1,0 +1,100 @@
+"""Unit tests for ballots and quorum-size arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.quorums import (
+    QuorumSystem,
+    classic_quorum_size,
+    epaxos_fast_quorum_size,
+    fast_quorum_size,
+    max_failures,
+)
+
+
+class TestBallots:
+    def test_initial_ballot_round_zero(self):
+        assert Ballot.initial(3) == Ballot(0, 3)
+
+    def test_ordering_by_round_then_node(self):
+        assert Ballot(0, 4) < Ballot(1, 0)
+        assert Ballot(2, 1) < Ballot(2, 3)
+
+    def test_next_for_supersedes(self):
+        current = Ballot(1, 4)
+        successor = current.next_for(0)
+        assert successor > current
+        assert successor.node_id == 0
+
+    def test_str_format(self):
+        assert str(Ballot(2, 1)) == "b(2,1)"
+
+    @given(st.integers(0, 100), st.integers(0, 9), st.integers(0, 9))
+    def test_next_for_always_greater(self, round_, node_a, node_b):
+        ballot = Ballot(round_, node_a)
+        assert ballot.next_for(node_b) > ballot
+
+
+class TestQuorumSizes:
+    @pytest.mark.parametrize("n,expected", [(3, 2), (4, 3), (5, 3), (6, 4), (7, 4), (9, 5)])
+    def test_classic_quorum_is_majority(self, n, expected):
+        assert classic_quorum_size(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(3, 3), (4, 3), (5, 4), (6, 5), (7, 6), (8, 6)])
+    def test_fast_quorum_is_three_quarters(self, n, expected):
+        assert fast_quorum_size(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(3, 1), (5, 2), (7, 3), (9, 4)])
+    def test_max_failures_minority(self, n, expected):
+        assert max_failures(n) == expected
+
+    def test_paper_deployment_sizes(self):
+        """For the 5-node evaluation: CQ=3, FQ=4, EPaxos fast quorum=3."""
+        quorums = QuorumSystem.for_cluster(5)
+        assert quorums.classic == 3
+        assert quorums.fast == 4
+        assert quorums.f == 2
+        assert epaxos_fast_quorum_size(5) == 3
+
+    def test_caesar_needs_one_more_node_than_epaxos_on_five(self):
+        assert fast_quorum_size(5) == epaxos_fast_quorum_size(5) + 1
+
+    def test_cluster_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSystem.for_cluster(2)
+
+    def test_quorum_predicates(self):
+        quorums = QuorumSystem.for_cluster(5)
+        assert quorums.is_classic_quorum(3)
+        assert not quorums.is_classic_quorum(2)
+        assert quorums.is_fast_quorum(4)
+        assert not quorums.is_fast_quorum(3)
+
+    def test_recovery_majority_is_half_classic_plus_one(self):
+        assert QuorumSystem.for_cluster(5).recovery_majority == 2
+        assert QuorumSystem.for_cluster(7).recovery_majority == 3
+
+    @given(st.integers(3, 101))
+    def test_classic_quorums_intersect(self, n):
+        assert 2 * classic_quorum_size(n) > n
+
+    @given(st.integers(3, 101))
+    def test_fast_quorum_intersection_property(self, n):
+        """Two fast quorums and one classic quorum always intersect (Section III).
+
+        |FQ1 ∩ FQ2 ∩ CQ| >= 2*FQ + CQ - 2*N > 0 is the worst-case bound.
+        """
+        fq = fast_quorum_size(n)
+        cq = classic_quorum_size(n)
+        assert 2 * fq + cq - 2 * n >= 1
+
+    @given(st.integers(3, 101))
+    def test_fast_quorum_classic_overlap_majority(self, n):
+        """A fast quorum overlaps any classic quorum in at least floor(CQ/2)+1 nodes."""
+        fq = fast_quorum_size(n)
+        cq = classic_quorum_size(n)
+        worst_overlap = fq + cq - n
+        assert worst_overlap >= cq // 2 + 1

@@ -1,0 +1,114 @@
+"""Unit tests for the per-node command history H_i."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.timestamps import LogicalTimestamp
+from repro.core.history import CommandHistory, CommandStatus
+from tests.conftest import make_command
+
+
+def ts(counter: int, node: int = 0) -> LogicalTimestamp:
+    return LogicalTimestamp(counter, node)
+
+
+class TestUpdateAndLookup:
+    def test_update_inserts_entry(self):
+        history = CommandHistory()
+        command = make_command(0, 0, key="x")
+        history.update(command, ts(1), set(), CommandStatus.FAST_PENDING, Ballot.initial(0))
+        entry = history.get(command.command_id)
+        assert entry is not None
+        assert entry.status is CommandStatus.FAST_PENDING
+        assert entry.timestamp == ts(1)
+        assert command.command_id in history
+
+    def test_update_replaces_existing_entry(self):
+        history = CommandHistory()
+        command = make_command(0, 0, key="x")
+        history.update(command, ts(1), set(), CommandStatus.FAST_PENDING, Ballot.initial(0))
+        history.update(command, ts(5), {(9, 9)}, CommandStatus.STABLE, Ballot.initial(0))
+        assert len(history) == 1
+        entry = history.get(command.command_id)
+        assert entry.status is CommandStatus.STABLE
+        assert entry.timestamp == ts(5)
+        assert entry.predecessors == {(9, 9)}
+
+    def test_get_unknown_returns_none(self):
+        assert CommandHistory().get((1, 2)) is None
+
+    def test_predecessors_of_unknown_is_empty(self):
+        assert CommandHistory().predecessors_of((1, 2)) == set()
+
+    def test_status_of(self):
+        history = CommandHistory()
+        command = make_command(0, 0)
+        history.update(command, ts(1), set(), CommandStatus.ACCEPTED, Ballot.initial(0))
+        assert history.status_of(command.command_id) is CommandStatus.ACCEPTED
+        assert history.status_of((9, 9)) is None
+
+    def test_remove_cleans_key_index(self):
+        history = CommandHistory()
+        command = make_command(0, 0, key="x")
+        other = make_command(1, 0, key="x")
+        history.update(command, ts(1), set(), CommandStatus.STABLE, Ballot.initial(0))
+        history.remove(command.command_id)
+        assert command.command_id not in history
+        assert list(history.conflicting_with(other)) == []
+
+
+class TestConflictIndex:
+    def test_conflicting_with_same_key(self):
+        history = CommandHistory()
+        first = make_command(0, 0, key="x")
+        second = make_command(1, 0, key="x")
+        unrelated = make_command(2, 0, key="y")
+        for i, command in enumerate([first, second, unrelated]):
+            history.update(command, ts(i), set(), CommandStatus.FAST_PENDING, Ballot.initial(0))
+        conflicting = {entry.command_id for entry in history.conflicting_with(first)}
+        assert conflicting == {second.command_id}
+
+    def test_conflicting_excludes_self(self):
+        history = CommandHistory()
+        command = make_command(0, 0, key="x")
+        history.update(command, ts(1), set(), CommandStatus.FAST_PENDING, Ballot.initial(0))
+        assert list(history.conflicting_with(command)) == []
+
+    def test_reads_do_not_conflict(self):
+        history = CommandHistory()
+        read_one = make_command(0, 0, key="x", operation="get")
+        read_two = make_command(1, 0, key="x", operation="get")
+        history.update(read_one, ts(1), set(), CommandStatus.FAST_PENDING, Ballot.initial(0))
+        assert list(history.conflicting_with(read_two)) == []
+
+    def test_stable_entries_iterator(self):
+        history = CommandHistory()
+        stable = make_command(0, 0, key="a")
+        pending = make_command(1, 0, key="b")
+        history.update(stable, ts(1), set(), CommandStatus.STABLE, Ballot.initial(0))
+        history.update(pending, ts(2), set(), CommandStatus.FAST_PENDING, Ballot.initial(0))
+        assert {e.command_id for e in history.stable_entries()} == {stable.command_id}
+
+
+class TestStatusFlags:
+    @pytest.mark.parametrize("status,finalizing", [
+        (CommandStatus.FAST_PENDING, False),
+        (CommandStatus.SLOW_PENDING, False),
+        (CommandStatus.REJECTED, False),
+        (CommandStatus.ACCEPTED, True),
+        (CommandStatus.STABLE, True),
+    ])
+    def test_is_finalizing(self, status, finalizing):
+        assert status.is_finalizing == finalizing
+
+    @pytest.mark.parametrize("status,survived", [
+        (CommandStatus.FAST_PENDING, False),
+        (CommandStatus.REJECTED, False),
+        (CommandStatus.SLOW_PENDING, True),
+        (CommandStatus.ACCEPTED, True),
+        (CommandStatus.STABLE, True),
+    ])
+    def test_survived_proposal(self, status, survived):
+        assert status.survived_proposal == survived

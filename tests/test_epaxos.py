@@ -1,0 +1,135 @@
+"""Integration and unit tests for the EPaxos baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.epaxos import EPaxosReplica, InstanceStatus
+from repro.consensus.interface import DecisionKind
+from repro.consensus.quorums import QuorumSystem
+from repro.kvstore.store import KeyValueStore
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from repro.sim.topology import ec2_five_sites, uniform_topology
+from tests.conftest import make_command
+
+
+def build_epaxos_cluster(n: int = 5, seed: int = 1, recovery: bool = False, topology=None):
+    topology = topology or (ec2_five_sites() if n == 5 else uniform_topology(n, rtt_ms=40.0))
+    sim = Simulator(seed=seed)
+    network = Network(sim, topology)
+    quorums = QuorumSystem.for_cluster(n)
+    replicas = [EPaxosReplica(i, sim, network, quorums, KeyValueStore(),
+                              recovery_enabled=recovery) for i in range(n)]
+    if recovery:
+        for replica in replicas:
+            replica.start()
+    return sim, network, replicas
+
+
+def submit_and_run(sim, replicas, commands, deadline_ms=60000):
+    for origin, command in commands:
+        replicas[origin].submit(command)
+    ids = [c.command_id for _, c in commands]
+    return sim.run_until(
+        lambda: all(r.has_executed(cid) for r in replicas if not r.crashed for cid in ids),
+        deadline=deadline_ms)
+
+
+class TestFastPath:
+    def test_non_conflicting_command_commits_fast(self):
+        sim, _, replicas = build_epaxos_cluster()
+        command = make_command(0, 0, key="a", origin=0)
+        assert submit_and_run(sim, replicas, [(0, command)])
+        assert replicas[0].stats.fast_decisions == 1
+        assert replicas[0].stats.slow_decisions == 0
+        assert replicas[0].decisions[command.command_id].kind is DecisionKind.FAST
+
+    def test_fast_path_uses_smaller_quorum_than_caesar(self, topology):
+        """EPaxos' fast decision from Virginia needs only the 3rd-closest node."""
+        sim, _, replicas = build_epaxos_cluster()
+        command = make_command(0, 0, key="a", origin=0)
+        assert submit_and_run(sim, replicas, [(0, command)])
+        latency = replicas[0].decisions[command.command_id].latency_ms
+        assert latency == pytest.approx(topology.quorum_latency(0, 3), rel=0.15)
+
+    def test_all_replicas_execute(self):
+        sim, _, replicas = build_epaxos_cluster()
+        commands = [(i, make_command(i, 0, key=f"k{i}", origin=i)) for i in range(5)]
+        assert submit_and_run(sim, replicas, commands)
+        assert all(r.commands_executed == 5 for r in replicas)
+
+
+class TestSlowPath:
+    def test_dependency_disagreement_forces_slow_path(self):
+        """Concurrent conflicting commands from distant sites take the slow path."""
+        sim, _, replicas = build_epaxos_cluster(seed=2)
+        commands = [(i, make_command(i, k, key="hot", origin=i))
+                    for i in range(5) for k in range(6)]
+        assert submit_and_run(sim, replicas, commands, deadline_ms=120000)
+        slow = sum(r.stats.slow_decisions for r in replicas)
+        assert slow > 0
+
+    def test_conflicting_order_consistent_across_replicas(self):
+        sim, _, replicas = build_epaxos_cluster(seed=3)
+        commands = [(i, make_command(i, k, key=f"hot-{k % 2}", origin=i))
+                    for i in range(5) for k in range(5)]
+        assert submit_and_run(sim, replicas, commands, deadline_ms=120000)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert replicas[i].execution_log.conflicting_order_violations(
+                    replicas[j].execution_log) == []
+
+    def test_state_machines_converge(self):
+        sim, _, replicas = build_epaxos_cluster(seed=4)
+        commands = [(i, make_command(i, k, key=f"hot-{k % 3}", origin=i))
+                    for i in range(5) for k in range(4)]
+        assert submit_and_run(sim, replicas, commands, deadline_ms=120000)
+        snapshots = [r.state_machine.snapshot() for r in replicas]
+        assert all(s == snapshots[0] for s in snapshots)
+
+    def test_graph_execution_visits_dependencies(self):
+        sim, _, replicas = build_epaxos_cluster(seed=5)
+        commands = [(i, make_command(i, k, key="hot", origin=i))
+                    for i in range(3) for k in range(3)]
+        assert submit_and_run(sim, replicas, commands, deadline_ms=120000)
+        assert sum(r.stats.graph_nodes_visited for r in replicas) > 0
+
+
+class TestRecovery:
+    def test_instance_recovered_after_leader_crash(self):
+        sim, _, replicas = build_epaxos_cluster(recovery=True, seed=6)
+        command = make_command(0, 0, key="x", origin=0)
+        replicas[0].submit(command)
+        sim.run(until=sim.now + 40.0)  # PreAccepts delivered, commit not yet sent
+        replicas[0].crash()
+        done = sim.run_until(
+            lambda: all(r.has_executed(command.command_id)
+                        for r in replicas if not r.crashed),
+            deadline=60000)
+        assert done
+        assert sum(r.stats.recoveries for r in replicas if not r.crashed) >= 1
+
+    def test_unknown_instance_recovered_as_noop(self):
+        """If no live replica knows the command, recovery commits a no-op."""
+        sim, _, replicas = build_epaxos_cluster(recovery=True, seed=7)
+        command = make_command(0, 0, key="x", origin=0)
+        # Simulate replica 1 having heard only a rumor of the instance: it has a
+        # pre-accepted entry but nobody else does, then the leader crashes.
+        replicas[0].submit(command)
+        sim.run(until=sim.now + 3.0)  # only the closest site (Ohio) may have it
+        replicas[0].crash()
+        sim.run(until=sim.now + 5000.0)
+        # Either the command was recovered or a no-op replaced it; in both
+        # cases no live replica blocks forever on the instance.
+        for replica in replicas[1:]:
+            for instance in replica.instances.values():
+                assert instance.status in (InstanceStatus.COMMITTED, InstanceStatus.EXECUTED,
+                                           InstanceStatus.NOOP, InstanceStatus.PRE_ACCEPTED,
+                                           InstanceStatus.ACCEPTED)
+
+    def test_crash_of_follower_does_not_block(self):
+        sim, _, replicas = build_epaxos_cluster(recovery=True, seed=8)
+        replicas[4].crash()
+        commands = [(0, make_command(0, k, key="x", origin=0)) for k in range(3)]
+        assert submit_and_run(sim, replicas, commands, deadline_ms=60000)

@@ -1,0 +1,106 @@
+"""Smoke tests for the per-figure experiment drivers (scaled-down parameters).
+
+These do not assert the paper's numbers — that is the benchmark suite's job —
+they assert that every driver runs end to end, produces well-formed series,
+and exhibits the coarse qualitative property each figure is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figures
+from repro.sim.topology import EC2_SHORT_LABELS, EC2_SITES
+
+
+SMALL = dict(duration_ms=2500.0, warmup_ms=500.0)
+
+
+class TestFigure6:
+    def test_driver_produces_series_for_each_protocol(self):
+        result = figures.figure6_latency_vs_conflicts(
+            conflict_rates=(0.0, 0.3), protocols=("caesar", "epaxos"), clients_per_site=3,
+            **SMALL)
+        assert set(result.series) == {"caesar", "epaxos"}
+        assert set(result.series["caesar"]) == {"0%", "30%"}
+        assert all(value is not None and value > 0
+                   for values in result.series.values() for value in values.values())
+        assert "Figure 6" in result.table
+
+    def test_caesar_latency_roughly_flat_across_conflicts(self):
+        result = figures.figure6_latency_vs_conflicts(
+            conflict_rates=(0.0, 0.3), protocols=("caesar",), clients_per_site=3, **SMALL)
+        latencies = result.series["caesar"]
+        assert latencies["30%"] <= latencies["0%"] * 1.6
+
+
+class TestFigure7:
+    def test_four_systems_reported_per_site(self):
+        result = figures.figure7_single_leader_comparison(clients_per_site=3, **SMALL)
+        assert set(result.series) == {"multipaxos-IR", "multipaxos-IN", "mencius", "caesar-0%"}
+        for values in result.series.values():
+            assert set(values) == set(EC2_SHORT_LABELS.values())
+
+    def test_far_leader_slower_than_near_leader_outside_mumbai(self):
+        result = figures.figure7_single_leader_comparison(clients_per_site=3, **SMALL)
+        assert result.series["multipaxos-IN"]["VA"] > result.series["multipaxos-IR"]["VA"]
+
+    def test_caesar_beats_mencius_on_average(self):
+        result = figures.figure7_single_leader_comparison(clients_per_site=3, **SMALL)
+        caesar_mean = sum(result.series["caesar-0%"].values()) / 5
+        mencius_mean = sum(result.series["mencius"].values()) / 5
+        assert caesar_mean < mencius_mean
+
+
+class TestFigure8:
+    def test_latency_reported_per_client_count(self):
+        result = figures.figure8_client_scaling(client_counts=(5, 50), protocols=("caesar",),
+                                                duration_ms=2500.0, warmup_ms=500.0)
+        assert set(result.series["caesar"]) == {5, 50}
+        assert all(value > 0 for value in result.series["caesar"].values())
+
+
+class TestFigure9:
+    def test_throughput_series_and_multipaxos_bottleneck(self):
+        result = figures.figure9_throughput(conflict_rates=(0.0,),
+                                            protocols=("caesar", "multipaxos"),
+                                            clients_per_site=30, duration_ms=2500.0,
+                                            warmup_ms=500.0)
+        assert result.series["caesar"]["0%"] > 0
+        # The single leader saturates below the multi-leader protocol.
+        assert result.series["multipaxos"]["0%"] < result.series["caesar"]["0%"]
+
+
+class TestFigure10:
+    def test_caesar_has_fewer_slow_paths_than_epaxos(self):
+        result = figures.figure10_slow_paths(conflict_rates=(0.3,), clients_per_site=15,
+                                             duration_ms=3000.0, warmup_ms=500.0)
+        assert result.series["caesar"]["30%"] <= result.series["epaxos"]["30%"]
+
+
+class TestFigure11:
+    def test_breakdown_proportions_sum_to_one(self):
+        result = figures.figure11_breakdown(conflict_rates=(0.0, 0.3), clients_per_site=3,
+                                            **SMALL)
+        for rate_label in ("0%", "30%"):
+            total = sum(result.series[phase][rate_label] for phase in
+                        ("propose", "retry", "deliver"))
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_wait_times_present_per_site(self):
+        result = figures.figure11_breakdown(conflict_rates=(0.3,), clients_per_site=3, **SMALL)
+        wait_times = result.extra["wait_times"]
+        assert set(wait_times) == set(EC2_SHORT_LABELS.values())
+
+
+class TestFigure12:
+    def test_throughput_dips_after_crash_and_recovers(self):
+        result = figures.figure12_failure_timeline(protocols=("caesar",), clients_per_site=8,
+                                                   crash_at_ms=4000.0, total_ms=10000.0)
+        series = result.series["caesar"]
+        before = series["3s"]
+        dip = min(series["4s"], series["5s"], series["6s"])
+        after = series["9s"]
+        assert before > 0
+        assert dip < before
+        assert after >= dip

@@ -1,0 +1,132 @@
+"""Unit tests for metrics collection and summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import (
+    LatencySummary,
+    percentile,
+    summarize_latencies,
+    throughput_timeline,
+)
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                              allow_subnormal=False), min_size=1, max_size=100))
+    def test_percentile_bounded_by_min_max(self, values):
+        for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+            result = percentile(values, fraction)
+            assert min(values) <= result <= max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                              allow_subnormal=False), min_size=2, max_size=100))
+    def test_percentile_monotone_in_fraction(self, values):
+        assert percentile(values, 0.25) <= percentile(values, 0.75)
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        summary = summarize_latencies([10.0, 20.0, 30.0, 40.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(25.0)
+        assert summary.minimum == 10.0
+        assert summary.maximum == 40.0
+        assert summary.median == pytest.approx(25.0)
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_summary_str_mentions_mean(self):
+        text = str(summarize_latencies([5.0, 15.0]))
+        assert "mean=10.0ms" in text
+
+
+class TestThroughputTimeline:
+    def test_buckets_counted_per_second(self):
+        completions = [100.0, 200.0, 900.0, 1100.0, 1900.0]
+        series = throughput_timeline(completions, bucket_ms=1000.0, end_ms=2000.0)
+        assert series[0] == (0.0, 3.0)
+        assert series[1] == (1000.0, 2.0)
+
+    def test_empty_input(self):
+        series = throughput_timeline([], bucket_ms=1000.0, end_ms=2000.0)
+        assert all(rate == 0.0 for _, rate in series)
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_timeline([1.0], bucket_ms=0.0)
+
+    def test_out_of_window_samples_ignored(self):
+        series = throughput_timeline([50.0, 5000.0], bucket_ms=1000.0, start_ms=0.0,
+                                     end_ms=2000.0)
+        assert sum(rate for _, rate in series) == pytest.approx(1.0)
+
+
+class TestCollector:
+    def test_warmup_samples_discarded(self):
+        collector = MetricsCollector(warmup_ms=1000.0)
+        collector.record_command(origin=0, proposer=0, latency_ms=10.0, completed_at=500.0,
+                                 key="k")
+        collector.record_command(origin=0, proposer=0, latency_ms=10.0, completed_at=1500.0,
+                                 key="k")
+        assert collector.count == 1
+        assert collector.discarded == 1
+
+    def test_per_origin_filtering(self):
+        collector = MetricsCollector()
+        collector.record_command(origin=0, proposer=0, latency_ms=10.0, completed_at=1.0, key="k")
+        collector.record_command(origin=1, proposer=1, latency_ms=30.0, completed_at=2.0, key="k")
+        assert collector.latencies(origin=0) == [10.0]
+        assert collector.latencies() == [10.0, 30.0]
+        summaries = collector.per_origin_summaries()
+        assert set(summaries) == {0, 1}
+        assert summaries[1].mean == pytest.approx(30.0)
+
+    def test_summary_none_when_empty(self):
+        assert MetricsCollector().summary() is None
+
+    def test_throughput_requires_positive_duration(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.throughput(0.0)
+
+    def test_throughput_per_second(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.record_command(origin=0, proposer=0, latency_ms=1.0,
+                                     completed_at=float(i), key="k")
+        assert collector.throughput(duration_ms=2000.0) == pytest.approx(5.0)
+
+    def test_timeline_delegates_to_stats(self):
+        collector = MetricsCollector()
+        collector.record_command(origin=0, proposer=0, latency_ms=1.0, completed_at=100.0,
+                                 key="k")
+        series = collector.timeline(bucket_ms=1000.0, end_ms=1000.0)
+        assert series[0][1] == pytest.approx(1.0)

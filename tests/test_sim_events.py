@@ -1,0 +1,91 @@
+"""Unit tests for the event queue primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_events_ordered_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(5.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(9.0, lambda: fired.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for name in ["first", "second", "third"]:
+            queue.push(3.0, lambda n=name: fired.append(n))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["first", "second", "third"]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("low-priority"), priority=5)
+        queue.push(3.0, lambda: fired.append("high-priority"), priority=0)
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["high-priority", "low-priority"]
+
+    def test_peek_time_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(7.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty_queue(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_not_returned(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_cancel_only_affects_target(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(2.0, lambda: fired.append("drop"))
+        drop.cancel()
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_len_counts_pushed_events(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1

@@ -1,0 +1,91 @@
+"""Unit tests for latency topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.topology import (
+    EC2_SITES,
+    Topology,
+    custom_topology,
+    ec2_five_sites,
+    lan_topology,
+    uniform_topology,
+)
+
+
+class TestEc2Topology:
+    def test_five_sites_in_paper_order(self):
+        topology = ec2_five_sites()
+        assert topology.sites == ["virginia", "ohio", "frankfurt", "ireland", "mumbai"]
+        assert topology.size == 5
+
+    def test_mumbai_rtts_match_paper(self):
+        topology = ec2_five_sites()
+        mumbai = topology.index_of("mumbai")
+        assert topology.rtt(mumbai, topology.index_of("virginia")) == pytest.approx(186.0)
+        assert topology.rtt(mumbai, topology.index_of("ohio")) == pytest.approx(301.0)
+        assert topology.rtt(mumbai, topology.index_of("frankfurt")) == pytest.approx(112.0)
+        assert topology.rtt(mumbai, topology.index_of("ireland")) == pytest.approx(122.0)
+
+    def test_eu_us_rtts_below_100ms(self):
+        topology = ec2_five_sites()
+        eu_us = [s for s in EC2_SITES if s != "mumbai"]
+        for a in eu_us:
+            for b in eu_us:
+                if a != b:
+                    assert topology.rtt_ms[(a, b)] < 100.0
+
+    def test_symmetry(self):
+        topology = ec2_five_sites()
+        for i in range(5):
+            for j in range(5):
+                assert topology.rtt(i, j) == topology.rtt(j, i)
+
+    def test_one_way_is_half_rtt(self):
+        topology = ec2_five_sites()
+        assert topology.one_way(0, 4) == pytest.approx(topology.rtt(0, 4) / 2)
+
+    def test_self_delay_is_local(self):
+        topology = ec2_five_sites(local_delivery_ms=0.1)
+        assert topology.one_way(2, 2) == pytest.approx(0.1)
+
+    def test_quorum_latency_counts_self(self):
+        topology = ec2_five_sites()
+        virginia = topology.index_of("virginia")
+        # Classic quorum of 3 = self + two closest (Ohio 12ms, Ireland 76ms).
+        assert topology.quorum_latency(virginia, 3) == pytest.approx(76.0)
+        # Fast quorum of 4 adds Frankfurt at 90ms.
+        assert topology.quorum_latency(virginia, 4) == pytest.approx(90.0)
+
+    def test_describe_mentions_all_sites(self):
+        text = ec2_five_sites().describe()
+        for site in EC2_SITES:
+            assert site in text
+
+
+class TestSyntheticTopologies:
+    def test_uniform_topology_rtts(self):
+        topology = uniform_topology(4, rtt_ms=30.0)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert topology.rtt(i, j) == pytest.approx(30.0)
+
+    def test_lan_topology_is_fast(self):
+        topology = lan_topology(3)
+        assert topology.rtt(0, 1) <= 1.0
+
+    def test_custom_topology_square_matrix_required(self):
+        with pytest.raises(ValueError):
+            custom_topology(["a", "b"], [[0, 1, 2], [1, 0, 3]])
+
+    def test_custom_topology_reads_upper_triangle(self):
+        topology = custom_topology(["a", "b", "c"],
+                                   [[0, 10, 20], [10, 0, 30], [20, 30, 0]])
+        assert topology.rtt(0, 2) == pytest.approx(20.0)
+        assert topology.rtt(2, 1) == pytest.approx(30.0)
+
+    def test_index_of_unknown_site_raises(self):
+        with pytest.raises(ValueError):
+            uniform_topology(3).index_of("nowhere")

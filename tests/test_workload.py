@@ -1,0 +1,212 @@
+"""Unit tests for the workload generators and simulated clients."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.quorums import QuorumSystem
+from repro.core.caesar import CaesarReplica
+from repro.core.config import CaesarConfig
+from repro.kvstore.store import KeyValueStore
+from repro.metrics.collector import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.random import DeterministicRandom
+from repro.sim.simulator import Simulator
+from repro.sim.topology import uniform_topology
+from repro.workload.clients import ClientPool, ClosedLoopClient, OpenLoopClient
+from repro.workload.generator import ConflictWorkload, WorkloadConfig
+
+
+class TestWorkloadConfig:
+    def test_invalid_conflict_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(conflict_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(conflict_rate=-0.1)
+
+    def test_empty_pools_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(shared_pool_size=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(private_pool_size=0)
+
+
+class TestConflictWorkload:
+    def make(self, conflict_rate: float, client_id: int = 0, seed: int = 1):
+        return ConflictWorkload(client_id=client_id, origin=0,
+                                config=WorkloadConfig(conflict_rate=conflict_rate),
+                                rng=DeterministicRandom(seed))
+
+    def test_zero_conflict_rate_never_uses_shared_pool(self):
+        workload = self.make(0.0)
+        keys = {workload.next_command().key for _ in range(200)}
+        assert all(key.startswith("private-0-") for key in keys)
+        assert workload.observed_conflict_rate == 0.0
+
+    def test_full_conflict_rate_always_uses_shared_pool(self):
+        workload = self.make(1.0)
+        keys = {workload.next_command().key for _ in range(200)}
+        assert all(key.startswith("shared-") for key in keys)
+        assert workload.observed_conflict_rate == 1.0
+
+    def test_intermediate_rate_close_to_target(self):
+        workload = self.make(0.3)
+        for _ in range(2000):
+            workload.next_command()
+        assert workload.observed_conflict_rate == pytest.approx(0.3, abs=0.05)
+
+    def test_command_ids_unique_and_sequential(self):
+        workload = self.make(0.5, client_id=7)
+        ids = [workload.next_command().command_id for _ in range(10)]
+        assert ids == [(7, i) for i in range(10)]
+
+    def test_private_pools_disjoint_across_clients(self):
+        first = self.make(0.0, client_id=1)
+        second = self.make(0.0, client_id=2)
+        keys_first = {first.next_command().key for _ in range(100)}
+        keys_second = {second.next_command().key for _ in range(100)}
+        assert keys_first.isdisjoint(keys_second)
+
+    def test_same_seed_same_commands(self):
+        first = self.make(0.4, seed=9)
+        second = self.make(0.4, seed=9)
+        assert [first.next_command() for _ in range(20)] == \
+               [second.next_command() for _ in range(20)]
+
+    def test_write_fraction_zero_generates_reads(self):
+        workload = ConflictWorkload(client_id=0, origin=0,
+                                    config=WorkloadConfig(write_fraction=0.0),
+                                    rng=DeterministicRandom(1))
+        assert all(workload.next_command().operation == "get" for _ in range(20))
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_keys_always_from_known_pools(self, rate, seed):
+        workload = ConflictWorkload(client_id=3, origin=0,
+                                    config=WorkloadConfig(conflict_rate=rate),
+                                    rng=DeterministicRandom(seed))
+        for _ in range(50):
+            command = workload.next_command()
+            assert command.key.startswith("shared-") or command.key.startswith("private-3-")
+
+
+def build_single_replica():
+    """One-node CAESAR 'cluster' used to exercise clients cheaply."""
+    sim = Simulator(seed=2)
+    network = Network(sim, uniform_topology(3, rtt_ms=10.0))
+    quorums = QuorumSystem.for_cluster(3)
+    config = CaesarConfig(recovery_enabled=False)
+    replicas = [CaesarReplica(i, sim, network, quorums, KeyValueStore(), config=config)
+                for i in range(3)]
+    return sim, replicas
+
+
+class TestClosedLoopClient:
+    def test_keeps_one_outstanding_command(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = ClosedLoopClient(0, replicas[0], workload, sim, metrics)
+        client.start()
+        sim.run(until=500.0)
+        client.stop()
+        sim.run(until=600.0)
+        assert client.completed > 1
+        # Closed loop: generated commands never exceed completed + 1 outstanding.
+        assert workload.generated <= client.completed + 1
+
+    def test_latency_samples_recorded(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 1, WorkloadConfig(), DeterministicRandom(1))
+        client = ClosedLoopClient(0, replicas[1], workload, sim, metrics)
+        client.start()
+        sim.run(until=300.0)
+        client.stop()
+        sim.run(until=400.0)
+        assert metrics.count == client.completed
+        assert all(sample.latency_ms > 0 for sample in metrics.samples)
+        assert all(sample.origin == 1 for sample in metrics.samples)
+
+    def test_think_time_slows_submission(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        fast_workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        slow_workload = ConflictWorkload(1, 0, WorkloadConfig(), DeterministicRandom(1))
+        fast_client = ClosedLoopClient(0, replicas[0], fast_workload, sim, metrics)
+        slow_client = ClosedLoopClient(1, replicas[0], slow_workload, sim, metrics,
+                                       think_time_ms=50.0)
+        fast_client.start()
+        slow_client.start()
+        sim.run(until=1000.0)
+        assert fast_client.completed > slow_client.completed
+
+    def test_reconnects_to_fallback_after_crash(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = ClosedLoopClient(0, replicas[0], workload, sim, metrics,
+                                  reconnect_timeout_ms=100.0,
+                                  fallback_replicas=[replicas[1], replicas[2]])
+        client.start()
+        sim.run(until=200.0)
+        replicas[0].crash()
+        sim.run(until=2000.0)
+        assert client.timeouts >= 1
+        assert client.replica is replicas[1]
+        assert client.completed > 0
+
+
+class TestOpenLoopClient:
+    def test_injects_at_configured_rate(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = OpenLoopClient(0, replicas[0], workload, sim, metrics,
+                                rate_per_second=100.0, rng=DeterministicRandom(5))
+        client.start()
+        sim.run(until=2000.0)
+        client.stop()
+        # 100/s over 2 virtual seconds ~ 200 commands (Poisson, generous bounds).
+        assert 120 <= client.submitted <= 300
+
+    def test_stop_after_ms_bounds_injection(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = OpenLoopClient(0, replicas[0], workload, sim, metrics,
+                                rate_per_second=100.0, rng=DeterministicRandom(5),
+                                stop_after_ms=500.0)
+        client.start()
+        sim.run(until=3000.0)
+        assert client.submitted <= 80
+
+    def test_completions_tracked(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = OpenLoopClient(0, replicas[0], workload, sim, metrics,
+                                rate_per_second=50.0, rng=DeterministicRandom(5))
+        client.start()
+        sim.run(until=1000.0)
+        client.stop()
+        sim.run(until=1500.0)
+        assert client.completed > 0
+        assert client.completed <= client.submitted
+
+
+class TestClientPool:
+    def test_start_stop_all_and_totals(self):
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        pool = ClientPool()
+        for i in range(3):
+            workload = ConflictWorkload(i, 0, WorkloadConfig(), DeterministicRandom(i))
+            pool.add(ClosedLoopClient(i, replicas[0], workload, sim, metrics))
+        pool.start_all()
+        sim.run(until=300.0)
+        pool.stop_all()
+        sim.run(until=400.0)
+        assert pool.total_completed == sum(c.completed for c in pool.clients)
+        assert pool.total_completed > 0
