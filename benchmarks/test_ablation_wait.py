@@ -44,7 +44,12 @@ def run_ablation(conflict_rates=CONFLICT_RATES, clients_per_site=20,
 
 @pytest.mark.benchmark(group="ablation")
 def test_wait_condition_ablation(benchmark, save_result):
-    slow_series, latency_series = run_once(benchmark, run_ablation)
+    slow_series, latency_series = run_once(
+        benchmark, run_ablation, perf_name="ablation_wait_condition",
+        perf_series=lambda r: {
+            **{f"slow% {label}": points for label, points in r[0].items()},
+            **{f"latency {label}": points for label, points in r[1].items()},
+        })
     table = (format_series("Ablation — % slow decisions, wait condition on vs off",
                            slow_series, "conflict")
              + "\n\n"

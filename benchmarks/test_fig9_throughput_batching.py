@@ -35,7 +35,12 @@ def test_figure9_throughput_with_batching(benchmark, save_result):
                                            warmup_ms=1500.0, batching=batching)
         return without, with_batching
 
-    without, with_batching = run_once(benchmark, run_both)
+    without, with_batching = run_once(
+        benchmark, run_both, perf_name="figure9_throughput_batching",
+        perf_series=lambda r: {
+            **{f"no-batching {p}": points for p, points in r[0].series.items()},
+            **{f"batching {p}": points for p, points in r[1].series.items()},
+        })
     save_result("figure9_throughput_batching",
                 without.table + "\n\n" + with_batching.table)
 

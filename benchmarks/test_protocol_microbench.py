@@ -26,7 +26,8 @@ def order_single_command(protocol: str, origin: int = 0, **options):
     command = Command(command_id=(origin, 0), key="bench", operation="put", value="v",
                       origin=origin)
     cluster.replica(origin).submit(command)
-    cluster.sim.run_until(lambda: cluster.all_executed([command.command_id]), deadline=30000)
+    # check_every=1: stop on the exact event so message counts stay comparable.
+    cluster.run_until_executed([command.command_id], deadline_ms=30000, check_every=1)
     latency = cluster.replica(origin).decisions[command.command_id].latency_ms
     return latency, cluster
 
@@ -61,9 +62,8 @@ def test_caesar_slow_decision_is_four_delays(benchmark):
         second = Command(command_id=(4, 0), key="hot", operation="put", value="b", origin=4)
         cluster.replica(0).submit(first)
         cluster.replica(4).submit(second)
-        cluster.sim.run_until(
-            lambda: cluster.all_executed([first.command_id, second.command_id]),
-            deadline=30000)
+        cluster.run_until_executed([first.command_id, second.command_id],
+                                   deadline_ms=30000)
         return cluster
 
     cluster = run_once(benchmark, run)
@@ -94,7 +94,7 @@ def test_message_footprint_per_command(benchmark, save_result):
             counts[protocol] = cluster.network.stats.messages_sent
         return counts
 
-    counts = run_once(benchmark, footprint)
+    counts = run_once(benchmark, footprint, perf_name="micro_message_footprint")
     table = "\n".join(f"{name:>12}: {count:3d} messages for one command"
                       for name, count in sorted(counts.items()))
     save_result("micro_message_footprint", table)

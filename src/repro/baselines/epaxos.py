@@ -204,6 +204,17 @@ class EPaxosReplica(ConsensusReplica):
         self.heartbeat_every_ms = heartbeat_every_ms
         self.suspect_after_ms = suspect_after_ms
         self.failure_detector: Optional[FailureDetector] = None
+        #: exact-type dispatch table for the message hot path.
+        self._handlers = {
+            PreAccept: self._on_pre_accept,
+            PreAcceptReply: self._on_pre_accept_reply,
+            Accept: self._on_accept,
+            AcceptReply: self._on_accept_reply,
+            Commit: self._on_commit,
+            Prepare: self._on_prepare,
+            PrepareReply: self._on_prepare_reply,
+            Heartbeat: self._on_heartbeat,
+        }
 
     # --------------------------------------------------------------- startup
 
@@ -275,26 +286,15 @@ class EPaxosReplica(ConsensusReplica):
         """Dispatch an incoming EPaxos message."""
         if self.failure_detector is not None:
             self.failure_detector.observe_any_message(src)
-        if isinstance(message, Heartbeat):
-            if self.failure_detector is not None:
-                self.failure_detector.observe_heartbeat(message)
-            return
-        if isinstance(message, PreAccept):
-            self._on_pre_accept(src, message)
-        elif isinstance(message, PreAcceptReply):
-            self._on_pre_accept_reply(src, message)
-        elif isinstance(message, Accept):
-            self._on_accept(src, message)
-        elif isinstance(message, AcceptReply):
-            self._on_accept_reply(src, message)
-        elif isinstance(message, Commit):
-            self._on_commit(src, message)
-        elif isinstance(message, Prepare):
-            self._on_prepare(src, message)
-        elif isinstance(message, PrepareReply):
-            self._on_prepare_reply(src, message)
-        else:
+        handler = self._handlers.get(type(message))
+        if handler is None:
             raise TypeError(f"unexpected message type {type(message).__name__}")
+        handler(src, message)
+
+    def _on_heartbeat(self, src: int, message: object) -> None:
+        """Feed a heartbeat to the failure detector (no-op when disabled)."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_heartbeat(message)
 
     # phase 1 -----------------------------------------------------------------
 

@@ -94,6 +94,12 @@ class MenciusReplica(ConsensusReplica):
         self._skipped_by_others: Set[int] = set()
         self._next_execute = 0
         self.stats = MenciusStats()
+        #: exact-type dispatch table for the message hot path.
+        self._handlers = {
+            SlotPropose: self._on_propose,
+            SlotAck: self._on_ack,
+            SlotCommit: self._on_commit,
+        }
 
     # ----------------------------------------------------------- client path
 
@@ -117,12 +123,9 @@ class MenciusReplica(ConsensusReplica):
 
     def handle_message(self, src: int, message: object) -> None:
         """Dispatch an incoming Mencius message."""
-        if isinstance(message, SlotPropose):
-            self._on_propose(src, message)
-        elif isinstance(message, SlotAck):
-            self._on_ack(src, message)
-        elif isinstance(message, SlotCommit):
-            self._on_commit(src, message)
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(src, message)
         elif isinstance(message, SkipAnnounce):
             self._on_skip(message)
         else:

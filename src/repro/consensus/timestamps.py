@@ -10,16 +10,19 @@ timestamp alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
 
 
-@total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogicalTimestamp:
     """A ``<k, node_id>`` logical timestamp.
 
     Ordering: ``<k1, i> < <k2, j>`` iff ``k1 < k2`` or (``k1 == k2`` and
     ``i < j``).
+
+    The comparison operators are written out explicitly (instead of using
+    ``functools.total_ordering`` over tuples): timestamp comparisons sit on
+    the wait-condition hot path, where the derived operators' extra call and
+    tuple allocations are measurable.
     """
 
     counter: int
@@ -28,7 +31,30 @@ class LogicalTimestamp:
     def __lt__(self, other: "LogicalTimestamp") -> bool:
         if not isinstance(other, LogicalTimestamp):
             return NotImplemented
-        return (self.counter, self.node_id) < (other.counter, other.node_id)
+        if self.counter != other.counter:
+            return self.counter < other.counter
+        return self.node_id < other.node_id
+
+    def __le__(self, other: "LogicalTimestamp") -> bool:
+        if not isinstance(other, LogicalTimestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter < other.counter
+        return self.node_id <= other.node_id
+
+    def __gt__(self, other: "LogicalTimestamp") -> bool:
+        if not isinstance(other, LogicalTimestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter > other.counter
+        return self.node_id > other.node_id
+
+    def __ge__(self, other: "LogicalTimestamp") -> bool:
+        if not isinstance(other, LogicalTimestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter > other.counter
+        return self.node_id >= other.node_id
 
     def next_for(self, node_id: int) -> "LogicalTimestamp":
         """The smallest timestamp owned by ``node_id`` strictly greater than self."""

@@ -53,6 +53,16 @@ PHASE_SLOW = "slow_proposal"
 PHASE_RETRY = "retry"
 PHASE_DONE = "done"
 
+#: Shared instance for the (very common) empty predecessor set carried by
+#: wire messages, so the hot path does not allocate a fresh frozenset per
+#: broadcast at low conflict rates.
+_EMPTY_FROZENSET: FrozenSet = frozenset()
+
+
+def _freeze(ids) -> FrozenSet:
+    """Frozen copy of ``ids``, reusing one shared object when empty."""
+    return frozenset(ids) if ids else _EMPTY_FROZENSET
+
 
 @dataclass
 class LeaderState:
@@ -117,6 +127,20 @@ class CaesarReplica(ConsensusReplica):
         self.wait_time_samples: List[float] = []
         self.recovery = RecoveryManager(self)
         self.failure_detector: Optional[FailureDetector] = None
+        #: exact-type dispatch table for the message hot path (wire messages
+        #: are final classes, so a dict lookup replaces the isinstance chain).
+        self._handlers = {
+            FastPropose: self._on_fast_propose,
+            FastProposeReply: self._on_fast_propose_reply,
+            SlowPropose: self._on_slow_propose,
+            SlowProposeReply: self._on_slow_propose_reply,
+            Retry: self._on_retry,
+            RetryReply: self._on_retry_reply,
+            Stable: self._on_stable,
+            Recovery: self.recovery.on_recovery_message,
+            RecoveryReply: self.recovery.on_recovery_reply,
+            Heartbeat: self._on_heartbeat,
+        }
 
     # --------------------------------------------------------------- startup
 
@@ -168,7 +192,7 @@ class CaesarReplica(ConsensusReplica):
         state.went_slow = True
         self.broadcast(SlowPropose(command=state.command, ballot=state.ballot,
                                    timestamp=state.timestamp,
-                                   predecessors=frozenset(state.predecessors)),
+                                   predecessors=_freeze(state.predecessors)),
                        size_bytes=64 + state.command.payload_size)
 
     def _start_retry(self, state: LeaderState) -> None:
@@ -182,7 +206,7 @@ class CaesarReplica(ConsensusReplica):
         state.phase_started_at = self.sim.now
         self.broadcast(Retry(command=state.command, ballot=state.ballot,
                              timestamp=state.timestamp,
-                             predecessors=frozenset(state.predecessors)),
+                             predecessors=_freeze(state.predecessors)),
                        size_bytes=64 + state.command.payload_size)
 
     def _start_stable(self, state: LeaderState) -> None:
@@ -210,7 +234,7 @@ class CaesarReplica(ConsensusReplica):
         self.decisions.get(command_id)  # ensure record exists for local proposals
         self.broadcast(Stable(command=state.command, ballot=state.ballot,
                               timestamp=state.timestamp,
-                              predecessors=frozenset(state.predecessors)),
+                              predecessors=_freeze(state.predecessors)),
                        size_bytes=64 + state.command.payload_size)
 
     def _on_fast_proposal_timeout(self, command_id: CommandId) -> None:
@@ -246,30 +270,15 @@ class CaesarReplica(ConsensusReplica):
         """Dispatch an incoming protocol message."""
         if self.failure_detector is not None:
             self.failure_detector.observe_any_message(src)
-        if isinstance(message, Heartbeat):
-            if self.failure_detector is not None:
-                self.failure_detector.observe_heartbeat(message)
-            return
-        if isinstance(message, FastPropose):
-            self._on_fast_propose(src, message)
-        elif isinstance(message, FastProposeReply):
-            self._on_fast_propose_reply(src, message)
-        elif isinstance(message, SlowPropose):
-            self._on_slow_propose(src, message)
-        elif isinstance(message, SlowProposeReply):
-            self._on_slow_propose_reply(src, message)
-        elif isinstance(message, Retry):
-            self._on_retry(src, message)
-        elif isinstance(message, RetryReply):
-            self._on_retry_reply(src, message)
-        elif isinstance(message, Stable):
-            self._on_stable(src, message)
-        elif isinstance(message, Recovery):
-            self.recovery.on_recovery_message(src, message)
-        elif isinstance(message, RecoveryReply):
-            self.recovery.on_recovery_reply(src, message)
-        else:
+        handler = self._handlers.get(type(message))
+        if handler is None:
             raise TypeError(f"unexpected message type {type(message).__name__}")
+        handler(src, message)
+
+    def _on_heartbeat(self, src: int, message: object) -> None:
+        """Feed a heartbeat to the failure detector (no-op when disabled)."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_heartbeat(message)
 
     # -------------------------------------------------- acceptor: proposals
 
@@ -358,7 +367,7 @@ class CaesarReplica(ConsensusReplica):
         self.wait_manager.notify_change(command.key)
         reply_cls = FastProposeReply if fast else SlowProposeReply
         self.send(leader, reply_cls(command_id=command_id, ballot=ballot, timestamp=reply_ts,
-                                    predecessors=frozenset(reply_pred), ok=ok))
+                                    predecessors=_freeze(reply_pred), ok=ok))
 
     # ------------------------------------------------------- leader: replies
 
@@ -413,7 +422,7 @@ class CaesarReplica(ConsensusReplica):
         self.wait_manager.drop_command(command_id, command.key)
         self.wait_manager.notify_change(command.key)
         self.send(src, RetryReply(command_id=command_id, ballot=message.ballot,
-                                  timestamp=message.timestamp, predecessors=frozenset(extra)))
+                                  timestamp=message.timestamp, predecessors=_freeze(extra)))
 
     def _on_retry_reply(self, src: int, message: RetryReply) -> None:
         """Leader side of retry aggregation (Figure 4, lines R2-R4)."""

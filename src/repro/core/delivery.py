@@ -87,6 +87,20 @@ class DeliveryManager:
         command_id = command.command_id
         if command_id in self._delivered:
             return []
+        if not self._pending:
+            # Fast path for the overwhelmingly common case: nothing else is
+            # waiting and every predecessor has already been delivered, so
+            # the command can be executed without the loop-breaking or
+            # ready-list machinery (which would reach the same conclusion).
+            entry = self._history.get(command_id)
+            if (entry is not None and entry.status is CommandStatus.STABLE
+                    and self._deliverable(entry)):
+                self._delivered.add(command_id)
+                self.delivered_order.append(command_id)
+                self._execute(command)
+                if self._on_delivered is not None:
+                    self._on_delivered(command)
+                return [command]
         self._pending[command_id] = command
         self._break_loop(command_id)
         # The new command may also unblock older stable commands whose

@@ -38,7 +38,7 @@ class CommandStatus(enum.Enum):
         return self in (CommandStatus.SLOW_PENDING, CommandStatus.ACCEPTED, CommandStatus.STABLE)
 
 
-@dataclass
+@dataclass(slots=True)
 class HistoryEntry:
     """One row of ``H_i``: the node's knowledge about a single command."""
 
@@ -75,12 +75,27 @@ class CommandHistory:
     def update(self, command: Command, timestamp: LogicalTimestamp,
                predecessors: Iterable[CommandId], status: CommandStatus,
                ballot: Ballot, forced: bool = False) -> HistoryEntry:
-        """Insert or replace the entry for ``command`` (the UPDATE of Section V-A)."""
-        entry = HistoryEntry(command=command, timestamp=timestamp,
-                             predecessors=set(predecessors), status=status,
-                             ballot=ballot, forced=forced)
-        self._entries[command.command_id] = entry
-        self._by_key.setdefault(command.key, set()).add(command.command_id)
+        """Insert or update the entry for ``command`` (the UPDATE of Section V-A).
+
+        An existing entry is mutated in place rather than replaced, so the
+        hot path avoids one allocation per protocol message and concurrent
+        holders of the entry (e.g. the delivery manager's loop breaking)
+        always observe the node's latest knowledge.
+        """
+        entry = self._entries.get(command.command_id)
+        if entry is None:
+            entry = HistoryEntry(command=command, timestamp=timestamp,
+                                 predecessors=set(predecessors), status=status,
+                                 ballot=ballot, forced=forced)
+            self._entries[command.command_id] = entry
+            self._by_key.setdefault(command.key, set()).add(command.command_id)
+        else:
+            entry.command = command
+            entry.timestamp = timestamp
+            entry.predecessors = set(predecessors)
+            entry.status = status
+            entry.ballot = ballot
+            entry.forced = forced
         return entry
 
     def remove(self, command_id: CommandId) -> None:

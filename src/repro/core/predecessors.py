@@ -83,34 +83,28 @@ class WaitManager:
 
     # ------------------------------------------------------------ predicates
 
-    def _blockers(self, command: Command, timestamp: LogicalTimestamp) -> List:
-        """Conflicting commands that force ``command`` to keep waiting.
+    def _scan(self, command: Command, timestamp: LogicalTimestamp) -> tuple:
+        """One pass over the conflicting entries: ``(blockers, nack_witnesses)``.
 
-        A conflicting command blocks when it has a greater timestamp, does not
-        list ``command`` among its predecessors, and has not yet reached an
-        accepted/stable status.
+        A conflicting command *blocks* when it has a greater timestamp, does
+        not list ``command`` among its predecessors, and has not yet reached
+        an accepted/stable status; candidates that have are *NACK witnesses*.
+        The two partition the same candidate set, so the wait condition needs
+        only one scan of the per-key history bucket to decide park/OK/NACK.
         """
-        blockers = []
+        blockers: List = []
+        witnesses: List = []
+        command_id = command.command_id
         for entry in self._history.conflicting_with(command):
             if entry.timestamp <= timestamp:
                 continue
-            if command.command_id in entry.predecessors:
-                continue
-            if not entry.status.is_finalizing:
-                blockers.append(entry)
-        return blockers
-
-    def _nack_witnesses(self, command: Command, timestamp: LogicalTimestamp) -> List:
-        """Conflicting accepted/stable commands that force a NACK after the wait."""
-        witnesses = []
-        for entry in self._history.conflicting_with(command):
-            if entry.timestamp <= timestamp:
-                continue
-            if command.command_id in entry.predecessors:
+            if command_id in entry.predecessors:
                 continue
             if entry.status.is_finalizing:
                 witnesses.append(entry)
-        return witnesses
+            else:
+                blockers.append(entry)
+        return blockers, witnesses
 
     # -------------------------------------------------------------- main API
 
@@ -123,7 +117,7 @@ class WaitManager:
             timestamp: the proposed timestamp.
             on_resolved: called with ``(ok, waited_ms)`` once WAIT terminates.
         """
-        blockers = self._blockers(command, timestamp)
+        blockers, witnesses = self._scan(command, timestamp)
         if blockers and self._enabled:
             parked = _ParkedProposal(command=command, timestamp=timestamp,
                                      on_resolved=on_resolved, parked_at=self._now())
@@ -133,8 +127,7 @@ class WaitManager:
             # Ablation mode: a proposal that would have waited is rejected outright.
             on_resolved(False, 0.0)
             return
-        ok = not self._nack_witnesses(command, timestamp)
-        on_resolved(ok, 0.0)
+        on_resolved(not witnesses, 0.0)
 
     def notify_change(self, key: str) -> None:
         """Re-evaluate proposals parked on ``key`` after a history change."""
@@ -144,13 +137,12 @@ class WaitManager:
         still_parked: List[_ParkedProposal] = []
         resolved: List[tuple] = []
         for parked in parked_list:
-            blockers = self._blockers(parked.command, parked.timestamp)
+            blockers, witnesses = self._scan(parked.command, parked.timestamp)
             if blockers:
                 still_parked.append(parked)
                 continue
             waited = self._now() - parked.parked_at
-            ok = not self._nack_witnesses(parked.command, parked.timestamp)
-            resolved.append((parked, ok, waited))
+            resolved.append((parked, not witnesses, waited))
         if still_parked:
             self._parked_by_key[key] = still_parked
         else:

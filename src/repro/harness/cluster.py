@@ -62,6 +62,16 @@ class Cluster:
         self.topology = topology
         self.replicas = replicas
         self.crash_injector = CrashInjector(sim, {r.node_id: r for r in replicas})
+        #: total command executions across all replicas (including any a
+        #: replica performed before crashing); maintained in O(1) via the
+        #: replicas' execution listeners so completion predicates do not have
+        #: to rescan every replica's executed set after every event.
+        self.executions = 0
+        for replica in replicas:
+            replica.execution_listener = self._count_execution
+
+    def _count_execution(self) -> None:
+        self.executions += 1
 
     @property
     def size(self) -> int:
@@ -101,6 +111,37 @@ class Cluster:
                 if not replica.has_executed(command_id):
                     return False
         return True
+
+    def run_until_executed(self, command_ids, deadline_ms: Optional[float] = None,
+                           check_every: int = 32) -> bool:
+        """Run until every live replica has executed every given command.
+
+        Uses the O(1) execution counter as a cheap gate in front of the exact
+        (per-replica, per-command) membership check, and evaluates the
+        predicate on a cadence rather than after every event, so the hot loop
+        never pays the full rescan.
+
+        Args:
+            command_ids: commands that must be executed everywhere.
+            deadline_ms: optional bound, relative to the current virtual time.
+            check_every: predicate cadence forwarded to ``Simulator.run_until``.
+
+        Returns:
+            ``True`` when all commands executed everywhere, ``False`` on
+            queue drain or deadline expiry.
+        """
+        ids = list(command_ids)
+        need = len(set(ids))
+
+        def executed_everywhere() -> bool:
+            live = sum(1 for r in self.replicas if not r.crashed)
+            if self.executions < need * live:
+                return False
+            return self.all_executed(ids)
+
+        deadline = None if deadline_ms is None else self.sim.now + deadline_ms
+        return self.sim.run_until(executed_everywhere, deadline=deadline,
+                                  check_every=check_every)
 
     def check_consistency(self) -> List[tuple]:
         """Cross-check execution logs of all live replicas.

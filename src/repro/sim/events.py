@@ -1,19 +1,22 @@
 """Event primitives for the discrete-event simulator.
 
-An :class:`Event` is a callback scheduled at a virtual time.  Events compare
-by ``(time, priority, sequence)`` so that simultaneous events are processed
-in a deterministic order (FIFO within the same priority).
+An :class:`Event` is a callback scheduled at a virtual time.  The queue keys
+its heap with plain ``(time, priority, seq)`` tuples so that heap reordering
+happens entirely in C tuple comparisons (``seq`` is unique, so the
+:class:`Event` payload in the fourth slot is never compared).  Simultaneous
+events are processed in a deterministic order: by priority, then FIFO.
+
+Cancellation is lazy: :meth:`Event.cancel` only flips a flag, and cancelled
+events are skipped when they reach the heap head.  This keeps both scheduling
+and cancellation O(log n) / O(1) with no heap surgery.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback in the simulation.
 
@@ -21,43 +24,66 @@ class Event:
         time: virtual time (milliseconds) at which the event fires.
         priority: lower values fire first among events at the same time.
         seq: monotonically increasing tie-breaker assigned by the queue.
-        callback: zero-argument callable invoked when the event fires.
+        callback: callable invoked (with ``args``) when the event fires.
+        args: positional arguments passed to ``callback`` (pre-bound handlers
+            avoid allocating a closure per scheduled message).
         cancelled: cancelled events are skipped when popped.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., None], args: Tuple = ()) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so it is ignored when it reaches the queue head."""
         self.cancelled = True
 
+    def fire(self) -> None:
+        """Invoke the callback with its pre-bound arguments."""
+        self.callback(*self.args)
+
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects keyed by virtual time."""
+    """A priority queue of :class:`Event` objects keyed by virtual time.
+
+    The heap entries are ``(time, priority, seq, event)`` tuples; ``seq`` is
+    unique so comparisons never reach the event object.  ``_live`` is an
+    upper bound on pending events (cancelled events stay in the heap until
+    they surface).
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list = []
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
         return self._live
 
-    def push(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+    def push(self, time: float, callback: Callable[..., None], priority: int = 0,
+             args: Tuple = ()) -> Event:
         """Schedule ``callback`` at ``time`` and return a cancellable handle."""
-        event = Event(time=time, priority=priority, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Return the next non-cancelled event, or ``None`` if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             self._live -= 1
             if event.cancelled:
                 continue
@@ -66,12 +92,13 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
             self._live -= 1
-        if not self._heap:
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop all pending events."""

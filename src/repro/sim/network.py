@@ -63,6 +63,14 @@ class Network:
         self._rng = sim.rng.fork("network")
         self._partitions: Set[Tuple[int, int]] = set()
         self._delay_override: Optional[Callable[[int, int, float], float]] = None
+        #: cache of nominal per-pair one-way delays; topology latencies are
+        #: immutable during a run, so the string-keyed RTT lookups are paid
+        #: once per (src, dst) pair instead of once per message.
+        self._nominal_delay: Dict[Tuple[int, int], float] = {}
+        # Bound samplers from the same underlying stream (skips a wrapper
+        # call per message on the jitter/loss path).
+        self._gauss = self._rng.gauss
+        self._random = self._rng.random
 
     def register(self, node: "NodeLike") -> None:
         """Attach a node so it can send and receive messages."""
@@ -98,14 +106,25 @@ class Network:
         """True if messages from ``src`` to ``dst`` are currently blocked."""
         return (src, dst) in self._partitions
 
+    def _nominal(self, src: int, dst: int) -> float:
+        """Nominal (cached) one-way delay from ``src`` to ``dst``."""
+        pair = (src, dst)
+        nominal = self._nominal_delay.get(pair)
+        if nominal is None:
+            nominal = self.topology.one_way(src, dst)
+            self._nominal_delay[pair] = nominal
+        return nominal
+
     def delay(self, src: int, dst: int) -> float:
         """Sample the one-way delay for a message from ``src`` to ``dst``."""
-        nominal = self.topology.one_way(src, dst)
+        nominal = self._nominal(src, dst)
         if self._delay_override is not None:
             nominal = self._delay_override(src, dst, nominal)
-        if self.config.jitter_ms > 0 and src != dst:
-            nominal += self._rng.gauss(0.0, self.config.jitter_ms)
-        return max(self.config.min_delay_ms, nominal)
+        jitter = self.config.jitter_ms
+        if jitter > 0 and src != dst:
+            nominal += self._gauss(0.0, jitter)
+        min_delay = self.config.min_delay_ms
+        return min_delay if nominal < min_delay else nominal
 
     def send(self, src: int, dst: int, message: object, size_bytes: int = 64) -> None:
         """Send ``message`` from node ``src`` to node ``dst``.
@@ -113,29 +132,31 @@ class Network:
         Delivery is asynchronous; loss, partitions and crashed receivers all
         result in the message silently disappearing.
         """
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        per_type = stats.per_type_sent
         type_name = type(message).__name__
-        self.stats.per_type_sent[type_name] = self.stats.per_type_sent.get(type_name, 0) + 1
+        per_type[type_name] = per_type.get(type_name, 0) + 1
 
-        if self.is_partitioned(src, dst):
-            self.stats.messages_partitioned += 1
+        if self._partitions and (src, dst) in self._partitions:
+            stats.messages_partitioned += 1
             return
-        if self.config.drop_probability > 0 and self._rng.random() < self.config.drop_probability:
-            self.stats.messages_dropped += 1
+        drop = self.config.drop_probability
+        if drop > 0 and self._random() < drop:
+            stats.messages_dropped += 1
             return
 
-        delay = self.delay(src, dst)
+        self.sim.schedule(self.delay(src, dst), self._deliver, args=(src, dst, message))
 
-        def deliver() -> None:
-            node = self._nodes.get(dst)
-            if node is None or node.crashed:
-                self.stats.messages_to_crashed += 1
-                return
-            self.stats.messages_delivered += 1
-            node.receive(src, message)
-
-        self.sim.schedule(delay, deliver)
+    def _deliver(self, src: int, dst: int, message: object) -> None:
+        """Hand a message that survived the network to its destination node."""
+        node = self._nodes.get(dst)
+        if node is None or node.crashed:
+            self.stats.messages_to_crashed += 1
+            return
+        self.stats.messages_delivered += 1
+        node.receive(src, message)
 
     def broadcast(self, src: int, message: object, include_self: bool = True, size_bytes: int = 64) -> None:
         """Send ``message`` from ``src`` to every registered node."""

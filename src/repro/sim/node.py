@@ -127,6 +127,7 @@ class Node:
         """
         if self.crashed:
             return
+        sim = self.sim
         local = src == self.node_id
         if isinstance(message, MessageBatch):
             factor = (self.batching.marginal_cost_factor
@@ -134,23 +135,31 @@ class Node:
             cost = self.cost_model.message_cost(message, local=local)
             cost += sum(self.cost_model.message_cost(inner, local=local) * factor
                         for inner in message.messages)
-            inner_messages = list(message.messages)
+            dispatch, payload = self._dispatch_batch, message.messages
         else:
             cost = self.cost_model.message_cost(message, local=local)
-            inner_messages = [message]
-        start = max(self.sim.now, self._cpu_free_at)
+            dispatch, payload = self._dispatch_one, message
+        now = sim.now
+        start = now if now > self._cpu_free_at else self._cpu_free_at
         finish = start + cost
         self._cpu_free_at = finish
         self.cpu_busy_ms += cost
+        sim.schedule(finish - now, dispatch, args=(src, payload))
 
-        def dispatch() -> None:
-            if self.crashed:
-                return
-            for inner in inner_messages:
-                self.messages_handled += 1
-                self.handle_message(src, inner)
+    def _dispatch_one(self, src: int, message: object) -> None:
+        """Run one queued message through the protocol handler."""
+        if self.crashed:
+            return
+        self.messages_handled += 1
+        self.handle_message(src, message)
 
-        self.sim.schedule(finish - self.sim.now, dispatch)
+    def _dispatch_batch(self, src: int, messages) -> None:
+        """Run a queued batch of messages through the protocol handler."""
+        if self.crashed:
+            return
+        for inner in messages:
+            self.messages_handled += 1
+            self.handle_message(src, inner)
 
     def consume_cpu(self, milliseconds: float) -> None:
         """Charge extra CPU time to this node (e.g. dependency-graph analysis)."""

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.consensus.command import Command
@@ -12,6 +15,48 @@ from repro.kvstore.store import KeyValueStore
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.simulator import Simulator
 from repro.sim.topology import ec2_five_sites, uniform_topology
+
+
+#: Default per-test wall-clock budget in seconds.  A simulator or protocol
+#: regression that turns a test into an endless event loop should fail loudly
+#: and quickly instead of hanging the whole suite; override per test with
+#: ``@pytest.mark.deadline(seconds)`` or globally with REPRO_TEST_DEADLINE_S.
+DEFAULT_TEST_DEADLINE_S = 120.0
+
+
+class TestDeadlineExceeded(Exception):
+    """Raised inside a test that overran its wall-clock deadline."""
+
+
+@pytest.fixture(autouse=True)
+def _test_deadline(request):
+    """Fail any test that runs longer than its wall-clock deadline.
+
+    Uses ``SIGALRM`` (skipped on platforms without it, and under ``-p
+    no:cacheprovider`` style workers running off the main thread).  The limit
+    is deliberately generous — it exists to catch hangs, not slowness.
+    """
+    limit = float(os.environ.get("REPRO_TEST_DEADLINE_S", DEFAULT_TEST_DEADLINE_S))
+    marker = request.node.get_closest_marker("deadline")
+    if marker is not None and marker.args:
+        limit = float(marker.args[0])
+    if limit <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    def _on_alarm(signum, frame):
+        raise TestDeadlineExceeded(f"test exceeded its {limit:.0f}s deadline")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not on the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture
