@@ -9,7 +9,8 @@ from repro.metrics.perf import measure, write_record
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def run_once(benchmark, fn, *args, perf_name=None, perf_series=None, **kwargs):
+def run_once(benchmark, fn, *args, perf_name=None, perf_series=None, perf_extra=None,
+             **kwargs):
     """Run a figure driver exactly once under pytest-benchmark timing.
 
     The drivers are full experiments (tens of simulated seconds each), so a
@@ -28,6 +29,8 @@ def run_once(benchmark, fn, *args, perf_name=None, perf_series=None, **kwargs):
         perf_series: optional ``result -> series-dict`` extractor for drivers
             that return something other than a single FigureResult (e.g. a
             tuple of series), so their records still carry the figure data.
+        perf_extra: optional ``result -> dict`` extractor merged into the
+            record's ``extra`` field (e.g. sweep timing detail).
     """
     name = perf_name or fn.__name__
     captured = {}
@@ -43,6 +46,8 @@ def run_once(benchmark, fn, *args, perf_name=None, perf_series=None, **kwargs):
         if series is not None:
             record.series = {label: {str(k): v for k, v in points.items()}
                              for label, points in series.items()}
+        if perf_extra is not None:
+            record.extra.update(perf_extra(result))
         if series is not None or perf_name is not None:
             # Only figure drivers (or explicitly named measurements) get a
             # persistent record; helper-level calls stay out of results/.

@@ -3,59 +3,33 @@
 The wait condition is the paper's key mechanism (Section IV-A): without it,
 an acceptor that received a conflicting higher-timestamp command first must
 reject the proposal, which turns fast decisions into slow ones exactly the
-way EPaxos' equal-dependency rule does.  This ablation disables the wait
-condition (the acceptor NACKs immediately instead of parking the proposal)
-and measures the effect on the slow-path share and on latency.
+way EPaxos' equal-dependency rule does.  The
+:func:`repro.harness.figures.ablation_wait_condition` sweep disables the
+wait condition (the acceptor NACKs immediately instead of parking the
+proposal) and measures the effect on the slow-path share and on latency.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.config import CaesarConfig
-from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.harness.report import format_series
+from repro.harness.figures import ablation_wait_condition
 
 from bench_utils import run_once
 
 CONFLICT_RATES = (0.10, 0.30, 0.50)
 
 
-def run_ablation(conflict_rates=CONFLICT_RATES, clients_per_site=20,
-                 duration_ms=4000.0, warmup_ms=1000.0):
-    """Run CAESAR with the wait condition on and off; return slow-% and latency series."""
-    slow_series = {"wait-on": {}, "wait-off": {}}
-    latency_series = {"wait-on": {}, "wait-off": {}}
-    for enabled, label in ((True, "wait-on"), (False, "wait-off")):
-        for rate in conflict_rates:
-            config = CaesarConfig(recovery_enabled=False, wait_condition_enabled=enabled)
-            result = run_experiment(ExperimentConfig(
-                protocol="caesar", conflict_rate=rate, clients_per_site=clients_per_site,
-                duration_ms=duration_ms, warmup_ms=warmup_ms, seed=19,
-                protocol_options={"config": config}))
-            key = f"{int(rate * 100)}%"
-            ratio = result.slow_path_ratio or 0.0
-            slow_series[label][key] = ratio * 100.0
-            overall = result.overall_latency
-            latency_series[label][key] = overall.mean if overall else None
-            assert result.consistency_violations == 0
-    return slow_series, latency_series
-
-
 @pytest.mark.benchmark(group="ablation")
 def test_wait_condition_ablation(benchmark, save_result):
-    slow_series, latency_series = run_once(
-        benchmark, run_ablation, perf_name="ablation_wait_condition",
-        perf_series=lambda r: {
-            **{f"slow% {label}": points for label, points in r[0].items()},
-            **{f"latency {label}": points for label, points in r[1].items()},
-        })
-    table = (format_series("Ablation — % slow decisions, wait condition on vs off",
-                           slow_series, "conflict")
-             + "\n\n"
-             + format_series("Ablation — mean latency (ms), wait condition on vs off",
-                             latency_series, "conflict"))
-    save_result("ablation_wait_condition", table)
+    result = run_once(benchmark, ablation_wait_condition,
+                      perf_name="ablation_wait_condition",
+                      conflict_rates=CONFLICT_RATES, clients_per_site=20,
+                      duration_ms=4000.0, warmup_ms=1000.0)
+    save_result("ablation_wait_condition", result.table)
+
+    slow_series = result.extra["slow"]
+    assert result.extra["consistency_violations"] == 0
 
     # Disabling the wait condition produces (weakly) more slow decisions at
     # every conflict rate, and strictly more under heavy conflicts.

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.figures import figure9_throughput
+from repro.harness.figures import figure9_throughput_batching
 from repro.sim.batching import BatchingConfig
 
 from bench_utils import run_once
@@ -23,26 +23,16 @@ CONFLICT_RATES = (0.0, 0.10, 0.30)
 @pytest.mark.benchmark(group="figure9")
 def test_figure9_throughput_with_batching(benchmark, save_result):
     batching = BatchingConfig(window_ms=2.0, max_messages=32, marginal_cost_factor=0.25)
+    result = run_once(benchmark, figure9_throughput_batching,
+                      perf_name="figure9_throughput_batching",
+                      conflict_rates=CONFLICT_RATES,
+                      protocols=("caesar", "epaxos", "multipaxos"),
+                      clients_per_site=60, duration_ms=4000.0,
+                      warmup_ms=1500.0, batching=batching)
+    save_result("figure9_throughput_batching", result.table)
 
-    def run_both():
-        without = figure9_throughput(conflict_rates=CONFLICT_RATES,
-                                     protocols=("caesar", "epaxos", "multipaxos"),
-                                     clients_per_site=60, duration_ms=4000.0,
-                                     warmup_ms=1500.0)
-        with_batching = figure9_throughput(conflict_rates=CONFLICT_RATES,
-                                           protocols=("caesar", "epaxos", "multipaxos"),
-                                           clients_per_site=60, duration_ms=4000.0,
-                                           warmup_ms=1500.0, batching=batching)
-        return without, with_batching
-
-    without, with_batching = run_once(
-        benchmark, run_both, perf_name="figure9_throughput_batching",
-        perf_series=lambda r: {
-            **{f"no-batching {p}": points for p, points in r[0].series.items()},
-            **{f"batching {p}": points for p, points in r[1].series.items()},
-        })
-    save_result("figure9_throughput_batching",
-                without.table + "\n\n" + with_batching.table)
+    without = result.extra["without"]
+    with_batching = result.extra["with_batching"]
 
     # Batching raises every protocol's peak throughput (paper: ~an order of
     # magnitude on real hardware; the simulated CPU model is more modest).

@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.harness.experiment import ExperimentConfig, attach_clients, build_experiment_cluster
 from repro.metrics.collector import MetricsCollector
 from repro.sim.failures import ScheduledCrash
-from repro.sim.topology import EC2_SITES
 
 CRASH_AT_MS = 8000.0
 TOTAL_MS = 20000.0

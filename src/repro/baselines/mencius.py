@@ -18,8 +18,8 @@ after hearing from everyone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
 
 from repro.consensus.command import Command
 from repro.consensus.interface import ConsensusReplica, DecisionKind

@@ -17,10 +17,10 @@ about) is included so the protocol keeps making progress in crash tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.consensus.ballots import Ballot
-from repro.consensus.command import Command, CommandId
+from repro.consensus.command import Command
 from repro.consensus.interface import ConsensusReplica, DecisionKind
 from repro.consensus.quorums import QuorumSystem
 from repro.kvstore.state_machine import StateMachine

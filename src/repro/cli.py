@@ -1,12 +1,15 @@
 """Command-line interface for running experiments and regenerating figures.
 
-Installed as the ``caesar-repro`` console script::
+Installed as the ``repro`` console script (``caesar-repro`` is kept as an
+alias)::
 
-    caesar-repro run --protocol caesar --conflicts 30 --clients 10
-    caesar-repro compare --conflicts 0 10 30
-    caesar-repro figure 6
-    caesar-repro figure 9 --quick
-    caesar-repro topology
+    repro run --protocol caesar --conflicts 30 --clients 10
+    repro compare --conflicts 0 10 30
+    repro figure 6
+    repro figure 9 --quick
+    repro sweep 9 --workers 4
+    repro sweep all --workers auto --quick
+    repro topology
 
 The CLI is a thin wrapper over :mod:`repro.harness`; everything it prints can
 also be produced programmatically (see ``examples/``).
@@ -15,25 +18,31 @@ also be produced programmatically (see ``examples/``).
 from __future__ import annotations
 
 import argparse
+import os
+import pathlib
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Optional, Sequence
 
 from repro.harness import figures
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.figures import throughput_cost_model
 from repro.harness.report import format_series
+from repro.metrics.perf import PerfRecord, TIMING_EXTRA_KEY, write_record
 from repro.sim.batching import BatchingConfig
 from repro.sim.topology import EC2_SHORT_LABELS, EC2_SITES, ec2_five_sites
 
-#: Maps ``figure <n>`` to the driver that regenerates it.
+#: Maps ``figure <n>`` / ``sweep <n>`` to the driver that regenerates it.
 FIGURE_DRIVERS = {
     "6": figures.figure6_latency_vs_conflicts,
     "7": figures.figure7_single_leader_comparison,
     "8": figures.figure8_client_scaling,
     "9": figures.figure9_throughput,
+    "9b": figures.figure9_throughput_batching,
     "10": figures.figure10_slow_paths,
     "11": figures.figure11_breakdown,
     "12": figures.figure12_failure_timeline,
+    "ablation": figures.ablation_wait_condition,
 }
 
 #: Scaled-down parameters used with ``--quick`` so every figure finishes fast.
@@ -44,18 +53,27 @@ QUICK_OVERRIDES = {
     "8": dict(client_counts=(5, 50, 250), duration_ms=3000.0, warmup_ms=1000.0),
     "9": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=40, duration_ms=3000.0,
               warmup_ms=1000.0),
+    "9b": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=40, duration_ms=2500.0,
+               warmup_ms=1000.0),
     "10": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=15, duration_ms=3000.0,
                warmup_ms=1000.0),
     "11": dict(conflict_rates=(0.0, 0.1, 0.3), clients_per_site=5, duration_ms=4000.0,
                warmup_ms=1000.0),
     "12": dict(clients_per_site=10, crash_at_ms=5000.0, total_ms=12000.0),
+    "ablation": dict(conflict_rates=(0.1, 0.3), clients_per_site=10, duration_ms=2500.0,
+                     warmup_ms=500.0),
 }
+
+
+def _figure_order(key: str):
+    """Sort figure keys numerically, with non-numeric suffixes/names last."""
+    return (0, int(key), "") if key.isdigit() else (1, 0, key)
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
-        prog="caesar-repro",
+        prog="repro",
         description="Reproduction of CAESAR (Speeding up Consensus by Chasing Fast "
                     "Decisions, DSN 2017) on a simulated geo-replicated substrate.")
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -82,10 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--seed", type=int, default=1)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one figure of the paper")
-    figure_parser.add_argument("number", choices=sorted(FIGURE_DRIVERS, key=int),
+    figure_parser.add_argument("number", choices=sorted(FIGURE_DRIVERS, key=_figure_order),
                                help="paper figure number")
     figure_parser.add_argument("--quick", action="store_true",
                                help="use scaled-down parameters (fast, coarser numbers)")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run figure sweeps through the parallel orchestrator and write "
+             "figure tables + BENCH perf records")
+    sweep_parser.add_argument("figures", nargs="+",
+                              choices=sorted(FIGURE_DRIVERS, key=_figure_order) + ["all"],
+                              metavar="figure",
+                              help="figure sweeps to run (%(choices)s)")
+    sweep_parser.add_argument("--workers", default=None,
+                              help="worker processes per sweep: a count, or 'auto' for one "
+                                   "per CPU (default: $REPRO_SWEEP_WORKERS, else serial)")
+    sweep_parser.add_argument("--serial", action="store_true",
+                              help="force serial in-process execution (same output bytes "
+                                   "as any --workers value)")
+    sweep_parser.add_argument("--cells", nargs="+", default=None, metavar="PATTERN",
+                              help="only run cells whose key matches one of these globs, "
+                                   "e.g. 'fig9/caesar/*' (unmatched cells report '-')")
+    sweep_parser.add_argument("--quick", action="store_true",
+                              help="use scaled-down parameters (fast, coarser numbers)")
+    sweep_parser.add_argument("--out", type=pathlib.Path,
+                              default=pathlib.Path("benchmarks/results"),
+                              help="directory for sweep_<name>.txt tables and "
+                                   "BENCH_sweep_<name>.json records (default: %(default)s)")
+    sweep_parser.add_argument("--stable-records", action="store_true",
+                              help="omit wall-clock fields from BENCH records so identical "
+                                   "sweeps serialize byte-identically")
 
     subparsers.add_parser("topology", help="print the simulated five-site EC2 topology")
     return parser
@@ -109,7 +154,7 @@ def _run(args: argparse.Namespace) -> str:
     ratio = result.slow_path_ratio
     if ratio is not None:
         lines.append(f"slow decisions:     {ratio * 100.0:.1f}%")
-    lines.append(f"per-site mean latency (ms):")
+    lines.append("per-site mean latency (ms):")
     for site in EC2_SITES:
         mean = result.site_mean_latency(site)
         if mean is not None:
@@ -146,6 +191,71 @@ def _figure(args: argparse.Namespace) -> str:
     return result.table
 
 
+def _sweeps_behind(result) -> list:
+    """The SweepResults behind one FigureResult (two for Figure 9b)."""
+    if "sweep" in result.extra:
+        return [result.extra["sweep"]]
+    return [result.extra[key].extra["sweep"]
+            for key in ("without", "with_batching") if key in result.extra]
+
+
+def _combined_record(name: str, sweeps, wall_seconds: float) -> PerfRecord:
+    """One BENCH record aggregating every sweep a figure driver ran.
+
+    ``wall_seconds`` is the observed wall time across all of them, so the
+    merged events/second and speedup estimate describe the whole figure
+    regeneration, not just the first sub-sweep.
+    """
+    events = sum(sweep.events_executed for sweep in sweeps)
+    cells = sum(len(sweep.outcomes) for sweep in sweeps)
+    cell_wall = sum(sweep.cell_wall_seconds for sweep in sweeps)
+    skipped = sum(sweep.skipped for sweep in sweeps)
+    timing = {
+        "parts": cells,
+        "cell_wall_seconds": round(cell_wall, 3),
+        "workers": max(sweep.workers for sweep in sweeps),
+        "cpus": os.cpu_count(),
+    }
+    if wall_seconds > 0:
+        timing["parallel_speedup_estimate"] = round(cell_wall / wall_seconds, 2)
+    extra = {"cells": cells, TIMING_EXTRA_KEY: timing}
+    if skipped:
+        extra["cells_skipped"] = skipped
+    return PerfRecord(
+        name=name, wall_seconds=wall_seconds, events_executed=events,
+        events_per_second=(events / wall_seconds) if wall_seconds > 0 else 0.0,
+        extra=extra)
+
+
+def _sweep(args: argparse.Namespace) -> str:
+    targets = list(FIGURE_DRIVERS) if "all" in args.figures else list(args.figures)
+    # Preserve figure order, drop duplicates.
+    targets = sorted(set(targets), key=_figure_order)
+    outputs = []
+    for target in targets:
+        driver = FIGURE_DRIVERS[target]
+        overrides = dict(QUICK_OVERRIDES[target]) if args.quick else {}
+        started = time.perf_counter()
+        result = driver(workers=args.workers, serial=args.serial,
+                        cell_filter=args.cells, **overrides)
+        wall = time.perf_counter() - started
+        name = driver.__name__
+
+        record = _combined_record(f"sweep_{name}", _sweeps_behind(result), wall)
+        record.series = {label: {str(x): y for x, y in points.items()}
+                         for label, points in result.series.items()}
+
+        args.out.mkdir(parents=True, exist_ok=True)
+        table_path = args.out / f"sweep_{name}.txt"
+        table_path.write_text(result.table + "\n")
+        record_path = write_record(record, args.out, stable=args.stable_records)
+        outputs.append(f"{result.table}\n\n"
+                       f"[sweep {target}: {len(record.series)} series, "
+                       f"{record.extra['cells']} cells, wall {wall:.1f}s; "
+                       f"wrote {table_path} and {record_path}]")
+    return "\n\n".join(outputs)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -156,6 +266,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _compare(args)
     elif args.command == "figure":
         output = _figure(args)
+    elif args.command == "sweep":
+        output = _sweep(args)
     elif args.command == "topology":
         output = ec2_five_sites().describe()
     else:  # pragma: no cover - argparse enforces the choices

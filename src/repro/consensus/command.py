@@ -8,7 +8,7 @@ to control the conflict percentage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 #: Commands are globally identified by ``(client_id, sequence_number)``.

@@ -44,7 +44,7 @@ from repro.kvstore.state_machine import StateMachine
 from repro.sim.costs import CostModel
 from repro.sim.failures import FailureDetector, Heartbeat
 from repro.sim.network import Network
-from repro.sim.node import Node, Timer
+from repro.sim.node import Timer
 from repro.sim.simulator import Simulator
 
 #: Leader-side phases a command can be in.

@@ -10,7 +10,7 @@ everything the node has ever seen.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Set
 
 from repro.consensus.ballots import Ballot

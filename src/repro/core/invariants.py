@@ -23,7 +23,7 @@ empty list means the invariant holds.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.core.caesar import CaesarReplica
 from repro.core.history import CommandStatus

@@ -9,7 +9,7 @@ receives every command via its own PROPOSE/STABLE messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 from repro.consensus.ballots import Ballot

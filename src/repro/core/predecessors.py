@@ -15,12 +15,12 @@ These are the two auxiliary functions of Figure 3 in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.consensus.command import Command, CommandId
 from repro.consensus.timestamps import LogicalTimestamp
-from repro.core.history import CommandHistory, CommandStatus
+from repro.core.history import CommandHistory
 
 
 def compute_predecessors(history: CommandHistory, command: Command,

@@ -1,8 +1,20 @@
 """Experiment harness: cluster construction, workload drivers and figure reproduction."""
 
 from repro.harness.cluster import Cluster, ClusterConfig, build_cluster, PROTOCOLS
-from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    summarize_experiment,
+)
 from repro.harness.report import format_table
+from repro.harness.sweep import (
+    SweepCell,
+    SweepError,
+    SweepResult,
+    run_sweep,
+    sweep_cell,
+)
 
 __all__ = [
     "Cluster",
@@ -12,5 +24,11 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    "summarize_experiment",
     "format_table",
+    "SweepCell",
+    "SweepError",
+    "SweepResult",
+    "run_sweep",
+    "sweep_cell",
 ]

@@ -10,7 +10,7 @@ counts, wait times, per-phase breakdowns) and a consistency check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.consensus.interface import DecisionKind
 from repro.core.config import CaesarConfig
@@ -147,6 +147,29 @@ def attach_clients(cluster: Cluster, config: ExperimentConfig,
             pool.add(client)
             client_id += 1
     return pool
+
+
+def summarize_experiment(result: ExperimentResult) -> Dict[str, object]:
+    """Reduce an :class:`ExperimentResult` to a small, picklable payload.
+
+    This is the default *collector* of the sweep orchestrator
+    (:mod:`repro.harness.sweep`): it runs inside the worker process and keeps
+    only the aggregate numbers the figure drivers plot, so the cluster and
+    its full execution history never cross the process boundary.
+    """
+    overall = result.overall_latency
+    return {
+        "throughput_per_second": result.throughput_per_second,
+        "mean_latency_ms": overall.mean if overall is not None else None,
+        "p95_latency_ms": overall.p95 if overall is not None else None,
+        "sample_count": overall.count if overall is not None else 0,
+        "per_site_mean_latency_ms": {site: summary.mean
+                                     for site, summary in result.per_site_latency.items()},
+        "fast_decisions": result.fast_decisions,
+        "slow_decisions": result.slow_decisions,
+        "slow_path_ratio": result.slow_path_ratio,
+        "consistency_violations": result.consistency_violations,
+    }
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:

@@ -1,0 +1,292 @@
+"""Process-parallel sweep orchestrator for figure experiments.
+
+A *sweep* is a grid of independent experiment cells (protocol × conflict
+rate × client count × topology × ...).  PR 1 made a single cell fast; this
+module makes a whole grid scale with the hardware instead of with the grid
+width: cells fan out across worker processes and their per-cell metric
+payloads are aggregated back in a fixed order.
+
+Determinism is the load-bearing guarantee.  Each cell is hermetic — it
+builds its own simulator whose RNG stream is forked from the sweep's base
+seed keyed on the cell's coordinates (:meth:`DeterministicRandom.fork_cell`),
+so a cell computes byte-identical results whether it runs in-process, in a
+worker, alone, or re-ordered.  Aggregation walks cells in their submission
+order.  Consequently ``run_sweep(cells, workers=4)`` and
+``run_sweep(cells, workers=1)`` produce byte-identical figure tables and
+BENCH series, which the test suite enforces.
+
+Worker failures are loud, never hangs: an exception inside a cell, or a
+worker process dying outright, aborts the sweep with a :class:`SweepError`
+naming the failing cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, process
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import multiprocessing
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    run_experiment,
+    summarize_experiment,
+)
+from repro.metrics.perf import PerfRecord, TIMING_EXTRA_KEY, merge_partial_records
+from repro.sim.random import DeterministicRandom, stable_label
+from repro.sim.simulator import credit_external_events, total_events_executed
+
+#: Environment variable consulted when ``run_sweep`` is called without an
+#: explicit worker count: figure drivers default to serial, but CI and the
+#: nightly sweep can turn every driver parallel without threading a flag
+#: through each call site.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: Cell key type: a tuple of primitive coordinates (strings/numbers).
+CellKey = Tuple[object, ...]
+
+
+class SweepError(RuntimeError):
+    """A sweep cell failed (raised an exception or its worker died)."""
+
+
+def key_string(key: Sequence[object]) -> str:
+    """Human/CLI-facing form of a cell key, e.g. ``fig9/caesar/0.1``."""
+    return "/".join(stable_label(part) for part in key)
+
+
+def matches_any(key: Sequence[object], patterns: Sequence[str]) -> bool:
+    """Whether the cell key matches one of the glob ``patterns``.
+
+    Patterns are matched with :func:`fnmatch.fnmatchcase` against
+    :func:`key_string`, so ``fig9/caesar/*`` selects one protocol's row and
+    ``*/0.3`` selects one conflict-rate column.
+    """
+    text = key_string(key)
+    return any(fnmatchcase(text, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One hermetic unit of work in a sweep.
+
+    Attributes:
+        key: the cell's coordinates; also names it in errors and filters.
+        config: the experiment to run (already carrying the cell's seed —
+            use :func:`sweep_cell` to derive it from a base seed).
+        runner: top-level callable executing the cell (must be picklable by
+            reference for worker dispatch); receives ``config`` plus
+            ``options`` as keyword arguments.
+        collect: reduces the runner's result to a small picklable payload
+            inside the worker, so the full simulator state never crosses the
+            process boundary.  ``None`` means the runner already returned
+            the payload.
+        options: extra keyword arguments for ``runner``.
+    """
+
+    key: CellKey
+    config: ExperimentConfig
+    runner: Callable = run_experiment
+    collect: Optional[Callable] = summarize_experiment
+    options: Mapping[str, object] = field(default_factory=dict)
+
+
+def sweep_cell(key: Sequence[object], config: ExperimentConfig,
+               base_seed: Optional[int] = None,
+               seed_key: Optional[Sequence[object]] = None,
+               runner: Callable = run_experiment,
+               collect: Optional[Callable] = summarize_experiment,
+               options: Optional[Mapping[str, object]] = None) -> SweepCell:
+    """Build a cell whose RNG stream is forked from ``base_seed``.
+
+    The cell's seed is ``DeterministicRandom(base_seed).fork_cell(seed_key or
+    key)``: every cell of a sweep draws from an independent stream, keyed on
+    coordinates rather than on position, so inserting or filtering cells
+    never perturbs its neighbours.  ``seed_key`` overrides the stream key for
+    cells whose results are deliberately shared across coordinates (e.g. a
+    conflict-oblivious protocol reported under every conflict rate).
+    """
+    key = tuple(key)
+    if base_seed is not None:
+        derived = DeterministicRandom(base_seed).fork_cell(tuple(seed_key) if seed_key else key)
+        config = replace(config, seed=derived.seed)
+    return SweepCell(key=key, config=config, runner=runner, collect=collect,
+                     options=dict(options or {}))
+
+
+def product_grid(axes: Mapping[str, Sequence[object]]):
+    """Iterate the cartesian product of named axes as dicts, in axis order.
+
+    ``product_grid({"protocol": ("caesar", "epaxos"), "rate": (0.0, 0.3)})``
+    yields ``{"protocol": "caesar", "rate": 0.0}`` first and varies the last
+    axis fastest, mirroring the nested-loop order the serial drivers used.
+    """
+    names = list(axes)
+    for values in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, values))
+
+
+@dataclass
+class CellOutcome:
+    """What one executed cell reported back."""
+
+    key: CellKey
+    payload: object
+    wall_seconds: float
+    events_executed: int
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one sweep run."""
+
+    outcomes: List[CellOutcome]
+    workers: int
+    wall_seconds: float
+    skipped: int = 0
+
+    def __post_init__(self) -> None:
+        self._by_key = {outcome.key: outcome for outcome in self.outcomes}
+
+    def payload(self, key: Sequence[object]) -> object:
+        """The collected payload of cell ``key`` (``None`` if filtered out)."""
+        outcome = self._by_key.get(tuple(key))
+        return outcome.payload if outcome is not None else None
+
+    @property
+    def events_executed(self) -> int:
+        """Simulation events executed across every cell."""
+        return sum(outcome.events_executed for outcome in self.outcomes)
+
+    @property
+    def cell_wall_seconds(self) -> float:
+        """Sum of per-cell wall times — the sweep's serial-equivalent cost."""
+        return sum(outcome.wall_seconds for outcome in self.outcomes)
+
+    def perf_record(self, name: str) -> PerfRecord:
+        """Merge the per-cell measurements into one BENCH-able record."""
+        partials = [PerfRecord(name=key_string(outcome.key),
+                               wall_seconds=outcome.wall_seconds,
+                               events_executed=outcome.events_executed,
+                               events_per_second=(outcome.events_executed / outcome.wall_seconds
+                                                  if outcome.wall_seconds > 0 else 0.0))
+                    for outcome in self.outcomes]
+        record = merge_partial_records(name, partials, wall_seconds=self.wall_seconds)
+        timing = record.extra[TIMING_EXTRA_KEY]
+        timing["workers"] = self.workers
+        timing["cpus"] = os.cpu_count()
+        if self.wall_seconds > 0:
+            timing["parallel_speedup_estimate"] = round(
+                self.cell_wall_seconds / self.wall_seconds, 2)
+        record.extra["cells"] = len(self.outcomes)
+        if self.skipped:
+            record.extra["cells_skipped"] = self.skipped
+        return record
+
+
+def resolve_workers(workers: Union[int, str, None], cell_count: int) -> int:
+    """Turn a worker specification into a concrete process count.
+
+    ``None`` falls back to ``$REPRO_SWEEP_WORKERS`` and then to serial;
+    ``"auto"`` (or 0) means one worker per CPU.  The count is capped at the
+    number of cells — extra processes would only sit idle.
+    """
+    if workers is None:
+        workers = os.environ.get(WORKERS_ENV_VAR) or 1
+    if isinstance(workers, str):
+        workers = os.cpu_count() or 1 if workers.strip().lower() == "auto" else int(workers)
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"worker count must be >= 0, got {workers}")
+    return max(1, min(workers, max(cell_count, 1)))
+
+
+def _execute_cell(cell: SweepCell) -> CellOutcome:
+    """Run one cell and reduce it to its payload (runs inside the worker)."""
+    events_before = total_events_executed()
+    started = time.perf_counter()
+    result = cell.runner(cell.config, **cell.options)
+    payload = cell.collect(result) if cell.collect is not None else result
+    wall = time.perf_counter() - started
+    events = total_events_executed() - events_before
+    return CellOutcome(key=cell.key, payload=payload, wall_seconds=wall,
+                       events_executed=events)
+
+
+def _mp_context():
+    """Pick the process start method: ``fork`` where available (fast, shares
+    the warm interpreter), ``spawn`` elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(cells: Sequence[SweepCell], workers: Union[int, str, None] = None,
+              serial: bool = False,
+              cell_filter: Optional[Sequence[str]] = None) -> SweepResult:
+    """Execute every cell and aggregate the payloads in cell order.
+
+    Args:
+        cells: the grid, in the order results should be aggregated.
+        workers: process count, ``"auto"`` for one per CPU, or ``None`` for
+            the ``$REPRO_SWEEP_WORKERS`` default (serial when unset).
+        serial: force in-process execution regardless of ``workers``.
+        cell_filter: glob patterns over :func:`key_string`; when given, only
+            matching cells run (the rest report ``None`` payloads).
+
+    Returns:
+        A :class:`SweepResult` whose outcome order matches ``cells``.
+
+    Raises:
+        SweepError: a cell raised, or its worker process died.
+    """
+    selected = list(cells)
+    skipped = 0
+    if cell_filter:
+        kept = [cell for cell in selected if matches_any(cell.key, cell_filter)]
+        skipped = len(selected) - len(kept)
+        selected = kept
+    worker_count = 1 if serial else resolve_workers(workers, len(selected))
+
+    started = time.perf_counter()
+    if worker_count <= 1 or len(selected) <= 1:
+        outcomes = []
+        for cell in selected:
+            try:
+                outcomes.append(_execute_cell(cell))
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep cell {key_string(cell.key)!r} failed: {exc}") from exc
+        return SweepResult(outcomes=outcomes, workers=1,
+                           wall_seconds=time.perf_counter() - started, skipped=skipped)
+
+    outcomes = []
+    with ProcessPoolExecutor(max_workers=worker_count, mp_context=_mp_context()) as pool:
+        futures = [(cell, pool.submit(_execute_cell, cell)) for cell in selected]
+        try:
+            for cell, future in futures:
+                outcomes.append(future.result())
+        except process.BrokenProcessPool as exc:
+            raise SweepError(
+                f"worker process died while running sweep cell "
+                f"{key_string(cell.key)!r} (or a sibling cell); the sweep was "
+                f"aborted rather than left hanging") from exc
+        except Exception as exc:
+            raise SweepError(
+                f"sweep cell {key_string(cell.key)!r} failed: {exc}") from exc
+        finally:
+            # Don't start queued cells once the sweep's outcome is decided;
+            # already-running cells finish (bounded work), queued ones don't.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # Workers incremented their own interpreters' event counters; credit the
+    # per-cell counts back so this process's perf records stay comparable
+    # with serial runs.
+    credit_external_events(sum(outcome.events_executed for outcome in outcomes))
+    return SweepResult(outcomes=outcomes, workers=worker_count,
+                       wall_seconds=time.perf_counter() - started, skipped=skipped)

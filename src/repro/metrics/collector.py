@@ -8,7 +8,7 @@ the paper's plots do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.metrics.stats import LatencySummary, summarize_latencies, throughput_timeline

@@ -20,12 +20,22 @@ import platform
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.sim.simulator import total_events_executed
 
 #: Schema version of the emitted JSON records.
 PERF_RECORD_VERSION = 1
+
+#: Record fields that vary run-to-run even when the simulation is identical.
+#: ``PerfRecord.to_json(stable=True)`` omits them (plus the ``timing`` extra)
+#: so that two runs of the same deterministic sweep serialize byte-identically
+#: regardless of machine speed or worker count.
+VOLATILE_FIELDS = ("wall_seconds", "events_per_second")
+
+#: Key under ``PerfRecord.extra`` where merged records keep their volatile
+#: timing detail (per-part walls, speedups); stripped in stable mode.
+TIMING_EXTRA_KEY = "timing"
 
 
 @dataclass
@@ -39,9 +49,14 @@ class PerfRecord:
     series: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
     extra: Dict[str, object] = field(default_factory=dict)
 
-    def to_json(self) -> Dict[str, object]:
-        """JSON-serializable form of the record."""
-        return {
+    def to_json(self, stable: bool = False) -> Dict[str, object]:
+        """JSON-serializable form of the record.
+
+        Args:
+            stable: omit wall-clock-derived fields so the serialized record
+                depends only on the (deterministic) simulation outputs.
+        """
+        record = {
             "version": PERF_RECORD_VERSION,
             "name": self.name,
             "wall_seconds": round(self.wall_seconds, 3),
@@ -51,6 +66,44 @@ class PerfRecord:
             "series": self.series,
             **({"extra": self.extra} if self.extra else {}),
         }
+        if stable:
+            for volatile in VOLATILE_FIELDS:
+                record.pop(volatile, None)
+            extra = record.get("extra")
+            if isinstance(extra, dict) and TIMING_EXTRA_KEY in extra:
+                extra = {key: value for key, value in extra.items()
+                         if key != TIMING_EXTRA_KEY}
+                if extra:
+                    record["extra"] = extra
+                else:
+                    record.pop("extra")
+        return record
+
+
+def merge_partial_records(name: str, partials: Sequence[PerfRecord],
+                          wall_seconds: Optional[float] = None) -> PerfRecord:
+    """Combine per-cell partial records into one aggregate record.
+
+    A parallel sweep measures each cell inside its worker process and hands
+    the partial records back to the coordinator.  The merged record sums the
+    cells' event counts, takes ``wall_seconds`` as the *observed* wall time of
+    the whole sweep (summing the partials instead when it is not given, i.e.
+    the serial-equivalent cost), and keeps the per-part walls under
+    ``extra["timing"]`` so parallel efficiency stays inspectable.
+    """
+    events = sum(partial.events_executed for partial in partials)
+    cell_wall = sum(partial.wall_seconds for partial in partials)
+    wall = cell_wall if wall_seconds is None else wall_seconds
+    return PerfRecord(
+        name=name,
+        wall_seconds=wall,
+        events_executed=events,
+        events_per_second=(events / wall) if wall > 0 else 0.0,
+        extra={TIMING_EXTRA_KEY: {
+            "parts": len(partials),
+            "cell_wall_seconds": round(cell_wall, 3),
+        }},
+    )
 
 
 class PerfTracker:
@@ -85,11 +138,11 @@ def measure(name: str, fn: Callable, *args, **kwargs):
     return result, tracker.record
 
 
-def write_record(record: PerfRecord, results_dir: Path) -> Path:
+def write_record(record: PerfRecord, results_dir: Path, stable: bool = False) -> Path:
     """Persist ``record`` as ``BENCH_<name>.json`` under ``results_dir``."""
     results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / f"BENCH_{record.name}.json"
-    path.write_text(json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(record.to_json(stable=stable), indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -14,7 +14,7 @@ detector sufficient for leader election.  In the simulation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.sim.simulator import Simulator

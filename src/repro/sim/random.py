@@ -9,6 +9,37 @@ from __future__ import annotations
 
 import random
 import zlib
+from typing import Iterable
+
+
+def stable_label(value: object) -> str:
+    """Canonical, process-stable string form of one stream-key coordinate.
+
+    Floats go through ``repr`` (shortest round-trip form, identical in every
+    CPython process); everything else must already be a primitive with a
+    stable ``str``.  Used to key per-cell RNG streams in parameter sweeps,
+    where coordinates are mixed strings/numbers.
+    """
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, bool) or value is None:
+        return repr(value)
+    if isinstance(value, (str, int)):
+        return str(value)
+    raise TypeError(f"unstable RNG stream label: {value!r} ({type(value).__name__})")
+
+
+def derive_seed(base_seed: int, labels: Iterable[object]) -> int:
+    """Derive a child seed from ``base_seed`` and a tuple of coordinates.
+
+    The derivation must be identical in every interpreter process (sweep
+    workers re-derive cell streams independently), so it uses CRC32 over the
+    canonicalized coordinates rather than the per-process salted ``hash()``.
+    Coordinates are joined with an ASCII unit separator so that composite
+    keys cannot collide by concatenation (``("a", "bc")`` vs ``("ab", "c")``).
+    """
+    path = "\x1f".join(stable_label(label) for label in labels)
+    return zlib.crc32(f"{base_seed}/{path}".encode()) & 0x7FFFFFFF
 
 
 class DeterministicRandom:
@@ -53,5 +84,14 @@ class DeterministicRandom:
         it is computed with CRC32 rather than ``hash()`` (string hashing is
         salted per process, which would make runs irreproducible).
         """
-        derived_seed = zlib.crc32(f"{self._seed}/{label}".encode()) & 0x7FFFFFFF
-        return DeterministicRandom(derived_seed)
+        return DeterministicRandom(derive_seed(self._seed, (label,)))
+
+    def fork_cell(self, coordinates: Iterable[object]) -> "DeterministicRandom":
+        """Derive the stream for one cell of a parameter sweep.
+
+        ``coordinates`` is the cell's key — e.g. ``("fig9", "caesar", 0.1)``
+        — canonicalized coordinate by coordinate, so a sweep cell receives
+        the same stream whether it runs serially, in a worker process, or
+        alone, and independent cells never share draws.
+        """
+        return DeterministicRandom(derive_seed(self._seed, coordinates))

@@ -9,8 +9,7 @@ keys belong to the shared pool."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.consensus.command import Command
 from repro.sim.random import DeterministicRandom

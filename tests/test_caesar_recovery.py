@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.consensus.interface import DecisionKind
 from repro.core.history import CommandStatus
 from tests.conftest import build_caesar_cluster, make_command

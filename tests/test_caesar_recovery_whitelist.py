@@ -8,8 +8,6 @@ decided on the fast path.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.consensus.ballots import Ballot
 from repro.consensus.timestamps import LogicalTimestamp
 from repro.core.history import CommandStatus

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.consensus.command import Command, CommandResult, commands_conflict
+from repro.consensus.command import Command, commands_conflict
 from repro.consensus.interface import Decision, DecisionKind, ExecutionLog
 from tests.conftest import make_command
 

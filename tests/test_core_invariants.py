@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.consensus.ballots import Ballot
-from repro.consensus.command import Command
 from repro.consensus.timestamps import LogicalTimestamp
 from repro.core.history import CommandStatus
 from repro.core.invariants import (

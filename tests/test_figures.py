@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.harness import figures
-from repro.sim.topology import EC2_SHORT_LABELS, EC2_SITES
+from repro.sim.topology import EC2_SHORT_LABELS
 
 
 SMALL = dict(duration_ms=2500.0, warmup_ms=500.0)

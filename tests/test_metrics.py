@@ -7,7 +7,6 @@ from hypothesis import given, strategies as st
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.stats import (
-    LatencySummary,
     percentile,
     summarize_latencies,
     throughput_timeline,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines.multipaxos import MultiPaxosReplica
 from repro.consensus.quorums import QuorumSystem
 from repro.kvstore.store import KeyValueStore

@@ -13,7 +13,6 @@ protocol, the core correctness properties the paper's Section III specifies:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines.epaxos import EPaxosReplica

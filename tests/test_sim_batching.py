@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.consensus.command import Command
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.figures import throughput_cost_model
-from repro.sim.batching import BatchBuffer, BatchingConfig, MessageBatch
+from repro.sim.batching import BatchBuffer, BatchingConfig
 from repro.sim.costs import CostModel
 from repro.sim.network import Network
 from repro.sim.node import Node

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventQueue
 
 
 class TestEventOrdering:

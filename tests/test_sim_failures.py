@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.sim.failures import CrashInjector, FailureDetector, Heartbeat, ScheduledCrash
 from repro.sim.network import Network
 from repro.sim.node import Node

@@ -6,7 +6,6 @@ import pytest
 
 from repro.sim.topology import (
     EC2_SITES,
-    Topology,
     custom_topology,
     ec2_five_sites,
     lan_topology,

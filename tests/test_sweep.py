@@ -1,0 +1,247 @@
+"""Tests for the parallel sweep orchestrator (repro.harness.sweep).
+
+The two load-bearing properties:
+
+* **Determinism** — a sweep fanned out across worker processes produces
+  byte-identical BENCH JSON and figure tables to a serial in-process run.
+* **Failure visibility** — a cell that raises, or a worker process that
+  dies outright, fails the sweep with a :class:`SweepError` naming the
+  cell instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.figures import figure6_latency_vs_conflicts
+from repro.harness.sweep import (
+    SweepCell,
+    SweepError,
+    key_string,
+    matches_any,
+    product_grid,
+    resolve_workers,
+    run_sweep,
+    sweep_cell,
+)
+from repro.metrics.perf import PerfRecord, merge_partial_records, write_record
+from repro.sim.random import DeterministicRandom, derive_seed, stable_label
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: A grid small enough for the unit suite: 4 cells of ~0.2 s each.
+SMALL_GRID = dict(conflict_rates=(0.0, 0.3), protocols=("caesar", "epaxos"),
+                  clients_per_site=2, duration_ms=1200.0, warmup_ms=300.0)
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    defaults = dict(protocol="caesar", clients_per_site=1, duration_ms=400.0,
+                    warmup_ms=100.0, drain_ms=200.0)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+# -- runners for the failure tests; top-level so worker processes can
+# unpickle them by reference.
+
+def raising_runner(config):
+    raise ValueError("injected cell failure")
+
+
+def dying_runner(config):
+    os._exit(13)
+
+
+class TestStableCellKeying:
+    def test_stable_label_canonicalizes_primitives(self):
+        assert stable_label("caesar") == "caesar"
+        assert stable_label(10) == "10"
+        assert stable_label(0.1) == "0.1"
+        assert stable_label(True) == "True"
+
+    def test_stable_label_rejects_unhashable_coordinates(self):
+        with pytest.raises(TypeError):
+            stable_label(["not", "primitive"])
+
+    def test_derive_seed_depends_on_every_coordinate(self):
+        base = derive_seed(11, ("fig9", "caesar", 0.1))
+        assert derive_seed(11, ("fig9", "caesar", 0.3)) != base
+        assert derive_seed(11, ("fig9", "epaxos", 0.1)) != base
+        assert derive_seed(12, ("fig9", "caesar", 0.1)) != base
+
+    def test_composite_keys_do_not_collide_by_concatenation(self):
+        assert derive_seed(1, ("ab", "c")) != derive_seed(1, ("a", "bc"))
+
+    def test_fork_cell_matches_derive_seed(self):
+        rng = DeterministicRandom(7)
+        assert rng.fork_cell(("x", 1)).seed == derive_seed(7, ("x", 1))
+
+    def test_fork_single_label_unchanged_from_pr1(self):
+        # fork() seeds existing client/network streams; the sweep refactor
+        # must not shift them (that would silently change every experiment).
+        assert DeterministicRandom(0).fork("client-0").seed == 882420389
+
+    def test_sweep_cell_derives_config_seed_from_key(self):
+        cell = sweep_cell(("fig", "caesar", 0.1), tiny_config(), base_seed=3)
+        assert cell.config.seed == derive_seed(3, ("fig", "caesar", 0.1))
+        aliased = sweep_cell(("fig", "caesar", 0.3), tiny_config(), base_seed=3,
+                             seed_key=("fig", "caesar"))
+        assert aliased.config.seed == derive_seed(3, ("fig", "caesar"))
+
+
+class TestGridHelpers:
+    def test_product_grid_varies_last_axis_fastest(self):
+        combos = list(product_grid({"p": ("a", "b"), "r": (1, 2)}))
+        assert combos == [{"p": "a", "r": 1}, {"p": "a", "r": 2},
+                          {"p": "b", "r": 1}, {"p": "b", "r": 2}]
+
+    def test_key_string_and_matching(self):
+        key = ("fig9", "caesar", 0.1)
+        assert key_string(key) == "fig9/caesar/0.1"
+        assert matches_any(key, ["fig9/caesar/*"])
+        assert matches_any(key, ["*/0.1"])
+        assert not matches_any(key, ["fig9/epaxos/*"])
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert resolve_workers(None, 8) == 1
+        assert resolve_workers(4, 8) == 4
+        assert resolve_workers(4, 2) == 2  # capped at the cell count
+        assert resolve_workers("auto", 64) == min(os.cpu_count() or 1, 64)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert resolve_workers(None, 8) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(-1, 8)
+
+
+class TestSweepDeterminism:
+    def test_parallel_matches_serial_byte_identically(self, tmp_path):
+        serial = figure6_latency_vs_conflicts(serial=True, **SMALL_GRID)
+        parallel = figure6_latency_vs_conflicts(workers=4, **SMALL_GRID)
+
+        assert parallel.series == serial.series
+        assert parallel.table == serial.table
+        assert (parallel.extra["sweep"].events_executed
+                == serial.extra["sweep"].events_executed)
+
+        # The figure table and the stable BENCH record serialize to the very
+        # same bytes regardless of worker count.
+        paths = {}
+        for label, result in (("serial", serial), ("parallel", parallel)):
+            out = tmp_path / label
+            out.mkdir()
+            (out / "figure6.txt").write_text(result.table + "\n")
+            record = result.extra["sweep"].perf_record("figure6")
+            record.series = {name: {str(x): y for x, y in points.items()}
+                             for name, points in result.series.items()}
+            write_record(record, out, stable=True)
+            paths[label] = out
+        for name in ("figure6.txt", "BENCH_figure6.json"):
+            assert ((paths["serial"] / name).read_bytes()
+                    == (paths["parallel"] / name).read_bytes()), name
+
+    def test_filtered_cells_report_none_payloads(self):
+        result = figure6_latency_vs_conflicts(cell_filter=["fig6/caesar/*"], **SMALL_GRID)
+        assert all(value is not None for value in result.series["caesar"].values())
+        assert all(value is None for value in result.series["epaxos"].values())
+        assert result.extra["sweep"].skipped == 2
+
+    def test_cells_are_order_independent(self):
+        cells = [sweep_cell(("t", protocol, rate), tiny_config(protocol=protocol,
+                                                               conflict_rate=rate),
+                            base_seed=5)
+                 for protocol in ("caesar", "epaxos") for rate in (0.0, 0.5)]
+        forward = run_sweep(cells, serial=True)
+        backward = run_sweep(list(reversed(cells)), serial=True)
+        for cell in cells:
+            assert forward.payload(cell.key) == backward.payload(cell.key)
+
+
+class TestSweepFailures:
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs the fork start method to "
+                        "dispatch test-module runners to workers")
+    @pytest.mark.deadline(60)
+    def test_raising_cell_fails_sweep_with_cell_name(self):
+        cells = [SweepCell(key=("t", "ok"), config=tiny_config()),
+                 SweepCell(key=("t", "bad"), config=tiny_config(), runner=raising_runner)]
+        with pytest.raises(SweepError, match="t/bad"):
+            run_sweep(cells, workers=2)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs the fork start method to "
+                        "dispatch test-module runners to workers")
+    @pytest.mark.deadline(60)
+    def test_dead_worker_fails_sweep_instead_of_hanging(self):
+        cells = [SweepCell(key=("t", "dies"), config=tiny_config(), runner=dying_runner),
+                 SweepCell(key=("t", "ok"), config=tiny_config())]
+        with pytest.raises(SweepError, match="worker process died"):
+            run_sweep(cells, workers=2)
+
+    def test_serial_failure_also_named(self):
+        cells = [SweepCell(key=("t", "bad"), config=tiny_config(), runner=raising_runner)]
+        with pytest.raises(SweepError, match="t/bad.*injected cell failure"):
+            run_sweep(cells, serial=True)
+
+
+class TestPerfRecordMerging:
+    def test_merge_partial_records_sums_events(self):
+        parts = [PerfRecord(name="a", wall_seconds=1.0, events_executed=100,
+                            events_per_second=100.0),
+                 PerfRecord(name="b", wall_seconds=3.0, events_executed=300,
+                            events_per_second=100.0)]
+        merged = merge_partial_records("sweep", parts, wall_seconds=2.0)
+        assert merged.events_executed == 400
+        assert merged.events_per_second == pytest.approx(200.0)
+        assert merged.extra["timing"]["cell_wall_seconds"] == pytest.approx(4.0)
+
+    def test_stable_json_drops_wall_clock_fields(self):
+        record = PerfRecord(name="x", wall_seconds=1.23, events_executed=10,
+                            events_per_second=8.1,
+                            extra={"timing": {"workers": 4}, "cells": 2})
+        stable = record.to_json(stable=True)
+        assert "wall_seconds" not in stable
+        assert "events_per_second" not in stable
+        assert "timing" not in stable.get("extra", {})
+        assert stable["extra"]["cells"] == 2
+        assert stable["events_executed"] == 10
+
+
+class TestPerfGateScript:
+    SCRIPT = pathlib.Path(__file__).parent.parent / "benchmarks" / "compare_perf.py"
+
+    def run_gate(self, baseline_dir, current_dir, *extra):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), "--baseline", str(baseline_dir),
+             "--current", str(current_dir), *extra],
+            capture_output=True, text=True)
+
+    def write(self, directory, name, events_per_second):
+        directory.mkdir(exist_ok=True)
+        (directory / name).write_text(json.dumps(
+            {"name": name, "events_per_second": events_per_second}))
+
+    def test_within_budget_passes(self, tmp_path):
+        self.write(tmp_path / "base", "BENCH_x.json", 100_000)
+        self.write(tmp_path / "cur", "BENCH_x.json", 80_000)
+        proc = self.run_gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 0, proc.stdout
+
+    def test_regression_fails(self, tmp_path):
+        self.write(tmp_path / "base", "BENCH_x.json", 100_000)
+        self.write(tmp_path / "cur", "BENCH_x.json", 60_000)
+        proc = self.run_gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "FAIL BENCH_x.json" in proc.stdout
+
+    def test_no_comparable_records_is_a_usage_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        proc = self.run_gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 2
