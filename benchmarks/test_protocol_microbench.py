@@ -14,14 +14,20 @@ from repro.consensus.command import Command
 from repro.consensus.quorums import QuorumSystem, epaxos_fast_quorum_size
 from repro.core.config import CaesarConfig
 from repro.harness.cluster import ClusterConfig, build_cluster
+from repro.sim.network import NetworkConfig
 from repro.sim.topology import ec2_five_sites
 
 from bench_utils import run_once
 
 
 def order_single_command(protocol: str, origin: int = 0, **options):
-    """Build a cluster, order one command from ``origin``, return (latency, cluster)."""
+    """Build a cluster, order one command from ``origin``, return (latency, cluster).
+
+    Wire accounting is enabled so the cluster also reports codec-measured
+    bytes for every message it sent (virtual-time behavior is unaffected).
+    """
     cluster = build_cluster(ClusterConfig(protocol=protocol, seed=5,
+                                          network=NetworkConfig(wire_accounting=True),
                                           protocol_options=options))
     command = Command(command_id=(origin, 0), key="bench", operation="put", value="v",
                       origin=origin)
@@ -85,20 +91,35 @@ def test_epaxos_fast_path_cheaper_quorum_than_caesar(benchmark):
 
 @pytest.mark.benchmark(group="micro")
 def test_message_footprint_per_command(benchmark, save_result):
-    """Messages sent to order a single command, per protocol."""
+    """Messages and codec-measured bytes to order a single command, per protocol.
+
+    Byte counts come from the runtime registry's codec (the canonical wire
+    encoding of every message actually sent), not from per-protocol size
+    estimates.  The per-protocol bytes-per-decision land in the BENCH record
+    and are regression-gated by ``compare_perf.py --max-bytes-growth``.
+    """
 
     def footprint():
         counts = {}
         for protocol in ("caesar", "epaxos", "multipaxos", "mencius", "m2paxos"):
             _, cluster = order_single_command(protocol)
-            counts[protocol] = cluster.network.stats.messages_sent
+            stats = cluster.network.stats
+            counts[protocol] = (stats.messages_sent, stats.codec_bytes_sent)
         return counts
 
-    counts = run_once(benchmark, footprint, perf_name="micro_message_footprint")
-    table = "\n".join(f"{name:>12}: {count:3d} messages for one command"
-                      for name, count in sorted(counts.items()))
+    counts = run_once(
+        benchmark, footprint, perf_name="micro_message_footprint",
+        perf_extra=lambda result: {
+            "codec_bytes_per_decision": {name: result[name][1] for name in result}})
+    table = "\n".join(
+        f"{name:>12}: {messages:3d} messages, {wire_bytes:5d} wire bytes for one command"
+        for name, (messages, wire_bytes) in sorted(counts.items()))
     save_result("micro_message_footprint", table)
+    messages = {name: pair[0] for name, pair in counts.items()}
+    wire_bytes = {name: pair[1] for name, pair in counts.items()}
     # Multi-leader quorum protocols broadcast to everyone: at least 3N messages.
-    assert counts["caesar"] >= 15
+    assert messages["caesar"] >= 15
     # Multi-Paxos concentrates messages on the leader but still commits to all.
-    assert counts["multipaxos"] >= 9
+    assert messages["multipaxos"] >= 9
+    # Every sent message was measured through the codec.
+    assert all(size > 0 for size in wire_bytes.values())

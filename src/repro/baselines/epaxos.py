@@ -27,11 +27,21 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.command import Command, CommandId
-from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.interface import DecisionKind
 from repro.consensus.quorums import QuorumSystem, epaxos_fast_quorum_size
 from repro.kvstore.state_machine import StateMachine
+from repro.runtime.codec import BOOL, UINT
+from repro.runtime.fields import (
+    BALLOT,
+    COMMAND,
+    INSTANCE_ID,
+    INSTANCE_ID_SET,
+    OPTIONAL_COMMAND,
+    OPTIONAL_STRING,
+)
+from repro.runtime.kernel import ProtocolKernel, QuorumTracker, handles
+from repro.runtime.registry import register_message
 from repro.sim.costs import CostModel
-from repro.sim.failures import FailureDetector, Heartbeat
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
 
@@ -64,7 +74,9 @@ class Instance:
 # --------------------------------------------------------------------- wire
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, command=COMMAND, seq=UINT,
+                  deps=INSTANCE_ID_SET, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class PreAccept:
     """Leader -> replicas: phase-1 proposal with locally computed attributes."""
 
@@ -75,7 +87,9 @@ class PreAccept:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, seq=UINT, deps=INSTANCE_ID_SET,
+                  ballot=BALLOT, changed=BOOL)
+@dataclass(frozen=True, slots=True)
 class PreAcceptReply:
     """Replica -> leader: possibly augmented attributes."""
 
@@ -86,7 +100,9 @@ class PreAcceptReply:
     changed: bool
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, command=COMMAND, seq=UINT,
+                  deps=INSTANCE_ID_SET, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class Accept:
     """Leader -> replicas: slow-path accept with unioned attributes."""
 
@@ -97,7 +113,8 @@ class Accept:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class AcceptReply:
     """Replica -> leader: slow-path acknowledgement."""
 
@@ -105,7 +122,9 @@ class AcceptReply:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, command=OPTIONAL_COMMAND, seq=UINT,
+                  deps=INSTANCE_ID_SET)
+@dataclass(frozen=True, slots=True)
 class Commit:
     """Leader -> replicas: final attributes of a committed instance."""
 
@@ -115,7 +134,8 @@ class Commit:
     deps: FrozenSet[InstanceId]
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Recovery prepare for an instance whose leader is suspected."""
 
@@ -123,7 +143,10 @@ class Prepare:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(instance_id=INSTANCE_ID, ballot=BALLOT, known=BOOL,
+                  command=OPTIONAL_COMMAND, seq=UINT, deps=INSTANCE_ID_SET,
+                  status=OPTIONAL_STRING)
+@dataclass(frozen=True, slots=True)
 class PrepareReply:
     """Reply to a recovery prepare with the replica's current instance state."""
 
@@ -148,7 +171,7 @@ class _LeaderState:
     original_seq: int
     original_deps: Set[InstanceId]
     ballot: Ballot
-    replies: Dict[int, object] = field(default_factory=dict)
+    votes: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     went_slow: bool = False
     started_at: float = 0.0
 
@@ -159,21 +182,11 @@ class _RecoveryState:
 
     instance_id: InstanceId
     ballot: Ballot
-    replies: Dict[int, PrepareReply] = field(default_factory=dict)
+    votes: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     dispatched: bool = False
 
 
-@dataclass
-class EPaxosStats:
-    """Counters surfaced to the harness (fast/slow path ratio for Figure 10)."""
-
-    fast_decisions: int = 0
-    slow_decisions: int = 0
-    graph_nodes_visited: int = 0
-    recoveries: int = 0
-
-
-class EPaxosReplica(ConsensusReplica):
+class EPaxosReplica(ProtocolKernel):
     """An EPaxos replica on the simulated substrate.
 
     Args:
@@ -199,34 +212,10 @@ class EPaxosReplica(ConsensusReplica):
         self._unexecuted_committed: Set[InstanceId] = set()
         self._command_instance: Dict[CommandId, InstanceId] = {}
         self.fast_quorum = epaxos_fast_quorum_size(quorums.n)
-        self.stats = EPaxosStats()
         self.recovery_enabled = recovery_enabled
-        self.heartbeat_every_ms = heartbeat_every_ms
-        self.suspect_after_ms = suspect_after_ms
-        self.failure_detector: Optional[FailureDetector] = None
-        #: exact-type dispatch table for the message hot path.
-        self._handlers = {
-            PreAccept: self._on_pre_accept,
-            PreAcceptReply: self._on_pre_accept_reply,
-            Accept: self._on_accept,
-            AcceptReply: self._on_accept_reply,
-            Commit: self._on_commit,
-            Prepare: self._on_prepare,
-            PrepareReply: self._on_prepare_reply,
-            Heartbeat: self._on_heartbeat,
-        }
-
-    # --------------------------------------------------------------- startup
-
-    def start(self) -> None:
-        """Start the failure detector (needed only for crash experiments)."""
-        if self.recovery_enabled:
-            self.failure_detector = FailureDetector(
-                owner=self, peer_ids=self.network.node_ids,
-                heartbeat_every_ms=self.heartbeat_every_ms,
-                suspect_after_ms=self.suspect_after_ms,
-                on_suspect=self._on_suspect)
-            self.failure_detector.start()
+        if recovery_enabled:
+            self.use_failure_detector(heartbeat_every_ms, suspect_after_ms,
+                                      self._on_suspect)
 
     # ----------------------------------------------------------- client path
 
@@ -245,6 +234,7 @@ class EPaxosReplica(ConsensusReplica):
         state = _LeaderState(instance_id=instance_id, command=command, phase="preaccept",
                              seq=seq, deps=set(deps), original_seq=seq,
                              original_deps=set(deps), ballot=instance.ballot,
+                             votes=QuorumTracker(self.fast_quorum, extra_votes=1),
                              started_at=self.sim.now)
         self._leader_states[instance_id] = state
         self.broadcast(PreAccept(instance_id=instance_id, command=command, seq=seq,
@@ -280,24 +270,9 @@ class EPaxosReplica(ConsensusReplica):
             self._conflict_index.setdefault(instance.command.key, set()).add(instance.instance_id)
             self._command_instance.setdefault(instance.command.command_id, instance.instance_id)
 
-    # ------------------------------------------------------ message handling
-
-    def handle_message(self, src: int, message: object) -> None:
-        """Dispatch an incoming EPaxos message."""
-        if self.failure_detector is not None:
-            self.failure_detector.observe_any_message(src)
-        handler = self._handlers.get(type(message))
-        if handler is None:
-            raise TypeError(f"unexpected message type {type(message).__name__}")
-        handler(src, message)
-
-    def _on_heartbeat(self, src: int, message: object) -> None:
-        """Feed a heartbeat to the failure detector (no-op when disabled)."""
-        if self.failure_detector is not None:
-            self.failure_detector.observe_heartbeat(message)
-
     # phase 1 -----------------------------------------------------------------
 
+    @handles(PreAccept)
     def _on_pre_accept(self, src: int, message: PreAccept) -> None:
         """Replica side of PreAccept: augment attributes with local knowledge."""
         existing = self.instances.get(message.instance_id)
@@ -319,16 +294,17 @@ class EPaxosReplica(ConsensusReplica):
                                       deps=frozenset(deps), ballot=message.ballot,
                                       changed=changed))
 
+    @handles(PreAcceptReply)
     def _on_pre_accept_reply(self, src: int, message: PreAcceptReply) -> None:
         """Leader side of phase 1: decide between the fast and slow paths."""
         state = self._leader_states.get(message.instance_id)
         if state is None or state.phase != "preaccept" or state.ballot != message.ballot:
             return
-        state.replies[src] = message
-        # The leader itself counts towards the fast quorum.
-        if len(state.replies) + 1 < self.fast_quorum:
+        # The leader itself counts towards the fast quorum (the tracker's
+        # implicit extra vote).
+        if not state.votes.vote(src, message):
             return
-        replies = list(state.replies.values())
+        replies = state.votes.payloads()
         unchanged = all(not reply.changed and
                         set(reply.deps) == state.original_deps and
                         reply.seq == state.original_seq
@@ -345,7 +321,7 @@ class EPaxosReplica(ConsensusReplica):
             state.deps = merged_deps
             state.phase = "accept"
             state.went_slow = True
-            state.replies = {}
+            state.votes = QuorumTracker(self.quorums.classic, extra_votes=1)
             instance = self.instances[state.instance_id]
             instance.seq = merged_seq
             instance.deps = set(merged_deps)
@@ -357,6 +333,7 @@ class EPaxosReplica(ConsensusReplica):
 
     # phase 2 (slow path) -----------------------------------------------------
 
+    @handles(Accept)
     def _on_accept(self, src: int, message: Accept) -> None:
         """Replica side of the slow-path accept."""
         existing = self.instances.get(message.instance_id)
@@ -371,13 +348,13 @@ class EPaxosReplica(ConsensusReplica):
         self._record_instance(instance)
         self.send(src, AcceptReply(instance_id=message.instance_id, ballot=message.ballot))
 
+    @handles(AcceptReply)
     def _on_accept_reply(self, src: int, message: AcceptReply) -> None:
         """Leader side of the slow-path accept: commit on a classic quorum."""
         state = self._leader_states.get(message.instance_id)
         if state is None or state.phase != "accept" or state.ballot != message.ballot:
             return
-        state.replies[src] = message
-        if len(state.replies) + 1 < self.quorums.classic:
+        if not state.votes.vote(src, message):
             return
         self._commit_instance(state, state.seq, state.deps, fast=False)
 
@@ -406,6 +383,7 @@ class EPaxosReplica(ConsensusReplica):
                        include_self=False, size_bytes=64 + state.command.payload_size)
         self._try_execute()
 
+    @handles(Commit)
     def _on_commit(self, src: int, message: Commit) -> None:
         """Replica side of commit: record final attributes and try to execute."""
         instance = self.instances.get(message.instance_id)
@@ -546,9 +524,12 @@ class EPaxosReplica(ConsensusReplica):
             self.stats.recoveries += 1
             ballot = instance.ballot.next_for(self.node_id)
             instance.ballot = ballot
-            self._recoveries[instance_id] = _RecoveryState(instance_id=instance_id, ballot=ballot)
+            self._recoveries[instance_id] = _RecoveryState(
+                instance_id=instance_id, ballot=ballot,
+                votes=QuorumTracker(self.quorums.classic, extra_votes=1))
             self.broadcast(Prepare(instance_id=instance_id, ballot=ballot), include_self=False)
 
+    @handles(Prepare)
     def _on_prepare(self, src: int, message: Prepare) -> None:
         instance = self.instances.get(message.instance_id)
         if instance is None:
@@ -563,15 +544,15 @@ class EPaxosReplica(ConsensusReplica):
                                  deps=frozenset(instance.deps), status=instance.status.value)
         self.send(src, reply)
 
+    @handles(PrepareReply)
     def _on_prepare_reply(self, src: int, message: PrepareReply) -> None:
         recovery = self._recoveries.get(message.instance_id)
         if recovery is None or recovery.dispatched or recovery.ballot != message.ballot:
             return
-        recovery.replies[src] = message
-        if len(recovery.replies) + 1 < self.quorums.classic:
+        if not recovery.votes.vote(src, message):
             return
         recovery.dispatched = True
-        known = [reply for reply in recovery.replies.values() if reply.known]
+        known = [reply for reply in recovery.votes.payloads() if reply.known]
         local = self.instances.get(message.instance_id)
         committed = [r for r in known if r.status in (InstanceStatus.COMMITTED.value,
                                                       InstanceStatus.EXECUTED.value)]
@@ -595,6 +576,7 @@ class EPaxosReplica(ConsensusReplica):
             state = _LeaderState(instance_id=message.instance_id, command=command,
                                  phase="accept", seq=seq, deps=deps, original_seq=seq,
                                  original_deps=set(deps), ballot=recovery.ballot,
+                                 votes=QuorumTracker(self.quorums.classic, extra_votes=1),
                                  went_slow=True, started_at=self.sim.now)
             self._leader_states[message.instance_id] = state
             instance = Instance(instance_id=message.instance_id, command=command, seq=seq,

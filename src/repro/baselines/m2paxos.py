@@ -16,9 +16,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.command import Command, CommandId
-from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.interface import DecisionKind
 from repro.consensus.quorums import QuorumSystem
 from repro.kvstore.state_machine import StateMachine
+from repro.runtime.codec import BOOL, STRING, UINT, OptionalCodec, SeqCodec, TupleCodec
+from repro.runtime.fields import COMMAND
+from repro.runtime.kernel import ProtocolKernel, QuorumTracker, handles
+from repro.runtime.registry import register_message
 from repro.sim.costs import CostModel
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
@@ -45,7 +49,8 @@ NOOP_OPERATION = "__noop__"
 # --------------------------------------------------------------------- wire
 
 
-@dataclass(frozen=True)
+@register_message(key=STRING, epoch=UINT, requester=UINT, next_execute=UINT)
+@dataclass(frozen=True, slots=True)
 class AcquireOwnership:
     """Requester -> all: ask to become the owner of ``key`` at ``epoch``.
 
@@ -59,7 +64,11 @@ class AcquireOwnership:
     next_execute: int = 0
 
 
-@dataclass(frozen=True)
+@register_message(key=STRING, epoch=UINT, granted=BOOL,
+                  current_owner=OptionalCodec(UINT), next_index=UINT,
+                  accepted=SeqCodec(TupleCodec(UINT, UINT, COMMAND)),
+                  decided=SeqCodec(TupleCodec(UINT, COMMAND)))
+@dataclass(frozen=True, slots=True)
 class AcquireReply:
     """Voter -> requester: grant or refuse the ownership request.
 
@@ -97,7 +106,8 @@ class AcquireReply:
     decided: Tuple = ()
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND, hops=UINT)
+@dataclass(frozen=True, slots=True)
 class ForwardCommand:
     """Non-owner -> owner: please order this command on your key.
 
@@ -113,7 +123,8 @@ class ForwardCommand:
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@register_message(key=STRING, index=UINT, command=COMMAND, owner=UINT, epoch=UINT)
+@dataclass(frozen=True, slots=True)
 class AcceptCommand:
     """Owner -> all: accept ``command`` at per-key position ``index``."""
 
@@ -124,7 +135,8 @@ class AcceptCommand:
     epoch: int
 
 
-@dataclass(frozen=True)
+@register_message(key=STRING, index=UINT, epoch=UINT)
+@dataclass(frozen=True, slots=True)
 class AcceptCommandReply:
     """Replica -> owner: acknowledgement of a per-key accept."""
 
@@ -133,7 +145,9 @@ class AcceptCommandReply:
     epoch: int
 
 
-@dataclass(frozen=True)
+@register_message(key=STRING, index=UINT, epoch=UINT, current_epoch=UINT,
+                  current_owner=OptionalCodec(UINT))
+@dataclass(frozen=True, slots=True)
 class AcceptNack:
     """Replica -> stale owner: the accept's epoch is obsolete.
 
@@ -151,7 +165,8 @@ class AcceptNack:
     current_owner: Optional[int]
 
 
-@dataclass(frozen=True)
+@register_message(key=STRING, index=UINT, command=COMMAND, owner=UINT, epoch=UINT)
+@dataclass(frozen=True, slots=True)
 class DecideCommand:
     """Owner -> all: the command at ``(key, index)`` is decided."""
 
@@ -170,7 +185,7 @@ class _PendingAccept:
     index: int
     command: Command
     epoch: int
-    acks: Set[int] = field(default_factory=set)
+    acks: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     decided: bool = False
 
 
@@ -180,8 +195,8 @@ class _PendingAcquire:
 
     key: str
     epoch: int
-    grants: Set[int] = field(default_factory=set)
-    refusals: Set[int] = field(default_factory=set)
+    grants: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
+    refusals: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     queued: List[Command] = field(default_factory=list)
     done: bool = False
     #: highest-epoch acked-but-undecided command reported per index.
@@ -190,19 +205,7 @@ class _PendingAcquire:
     decided: Dict[int, Command] = field(default_factory=dict)
 
 
-@dataclass
-class M2PaxosStats:
-    """Counters surfaced to the harness."""
-
-    commands_forwarded: int = 0
-    acquisitions: int = 0
-    acquisition_failures: int = 0
-    local_decisions: int = 0
-    acquisition_backoffs: int = 0
-    accepts_preempted: int = 0
-
-
-class M2PaxosReplica(ConsensusReplica):
+class M2PaxosReplica(ProtocolKernel):
     """An M2Paxos replica on the simulated substrate."""
 
     protocol_name = "m2paxos"
@@ -234,16 +237,6 @@ class M2PaxosReplica(ConsensusReplica):
         self._backoff_queue: Dict[str, List[Command]] = {}
         #: per-key count of failed acquisition attempts (drives the backoff).
         self._acquire_attempts: Dict[str, int] = {}
-        self.stats = M2PaxosStats()
-        self._handlers = {
-            AcquireOwnership: self._on_acquire,
-            AcquireReply: self._on_acquire_reply,
-            ForwardCommand: self._on_forward,
-            AcceptCommand: self._on_accept,
-            AcceptCommandReply: self._on_accept_reply,
-            AcceptNack: self._on_accept_nack,
-            DecideCommand: self._on_decide,
-        }
 
     # ----------------------------------------------------------- client path
 
@@ -284,8 +277,8 @@ class M2PaxosReplica(ConsensusReplica):
     def _lead_at(self, key: str, index: int, command: Command) -> None:
         """Run the accept round for ``command`` at an explicit position."""
         epoch = self.epochs.get(key, 0)
-        pending = _PendingAccept(key=key, index=index, command=command, epoch=epoch)
-        pending.acks.add(self.node_id)
+        pending = _PendingAccept(key=key, index=index, command=command, epoch=epoch,
+                                 acks=QuorumTracker(self.quorums.classic, extra_votes=1))
         self._pending_accepts[(key, index)] = pending
         # The owner's implicit self-ack must be visible to acquisition
         # recovery exactly like a remote voter's ack, otherwise a grant
@@ -316,24 +309,18 @@ class M2PaxosReplica(ConsensusReplica):
         epoch = self.epochs.get(key, 0) + 1
         self.epochs[key] = epoch
         self.stats.acquisitions += 1
-        pending = _PendingAcquire(key=key, epoch=epoch, queued=[command])
-        pending.grants.add(self.node_id)
+        pending = _PendingAcquire(
+            key=key, epoch=epoch, queued=[command],
+            grants=QuorumTracker(self.quorums.classic, extra_votes=1),
+            refusals=QuorumTracker(self.quorums.n - self.quorums.classic + 1))
         self._pending_acquires[key] = pending
         self.broadcast(AcquireOwnership(key=key, epoch=epoch, requester=self.node_id,
                                         next_execute=self._next_execute.get(key, 0)),
                        include_self=False)
 
-    # ------------------------------------------------------ message handling
-
-    def handle_message(self, src: int, message: object) -> None:
-        """Dispatch an incoming M2Paxos message."""
-        handler = self._handlers.get(type(message))
-        if handler is None:
-            raise TypeError(f"unexpected message type {type(message).__name__}")
-        handler(src, message)
-
     # ownership ---------------------------------------------------------------
 
+    @handles(AcquireOwnership)
     def _on_acquire(self, src: int, message: AcquireOwnership) -> None:
         """Vote on an ownership request: grant strictly newer epochs only.
 
@@ -363,6 +350,7 @@ class M2PaxosReplica(ConsensusReplica):
             self.send(src, AcquireReply(key=key, epoch=message.epoch, granted=False,
                                         current_owner=self.owners.get(key)))
 
+    @handles(AcquireReply)
     def _on_acquire_reply(self, src: int, message: AcquireReply) -> None:
         """Requester: become owner on a majority of grants, otherwise back off."""
         pending = self._pending_acquires.get(message.key)
@@ -370,7 +358,7 @@ class M2PaxosReplica(ConsensusReplica):
             return
         key = message.key
         if message.granted:
-            pending.grants.add(src)
+            pending.grants.vote(src)
             if message.next_index > self._next_index.get(key, 0):
                 self._next_index[key] = message.next_index
             for index, epoch, command in message.accepted:
@@ -380,8 +368,8 @@ class M2PaxosReplica(ConsensusReplica):
             for index, command in message.decided:
                 pending.decided.setdefault(index, command)
         else:
-            pending.refusals.add(src)
-        if len(pending.grants) >= self.quorums.classic:
+            pending.refusals.vote(src)
+        if pending.grants.reached:
             pending.done = True
             if self.epochs.get(key, 0) != pending.epoch:
                 # While our round was in flight we granted a strictly newer
@@ -408,7 +396,7 @@ class M2PaxosReplica(ConsensusReplica):
                 if command.command_id not in recovered_ids:
                     self._lead(command)
             return
-        if len(pending.refusals) > self.quorums.n - self.quorums.classic:
+        if pending.refusals.reached:
             # Majority can no longer be reached this epoch.
             pending.done = True
             self.stats.acquisition_failures += 1
@@ -513,6 +501,7 @@ class M2PaxosReplica(ConsensusReplica):
             # or start a fresh, higher-epoch acquisition.
             self.propose(command)
 
+    @handles(ForwardCommand)
     def _on_forward(self, src: int, message: ForwardCommand) -> None:
         """Owner side of forwarding: order the command as if proposed locally."""
         key = message.command.key
@@ -535,6 +524,7 @@ class M2PaxosReplica(ConsensusReplica):
 
     # ordering ----------------------------------------------------------------
 
+    @handles(AcceptCommand)
     def _on_accept(self, src: int, message: AcceptCommand) -> None:
         """Replica side of a per-key accept: record the owner and acknowledge.
 
@@ -561,6 +551,7 @@ class M2PaxosReplica(ConsensusReplica):
         self.send(src, AcceptCommandReply(key=key, index=message.index,
                                           epoch=message.epoch))
 
+    @handles(AcceptNack)
     def _on_accept_nack(self, src: int, message: AcceptNack) -> None:
         """Deposed owner: drop the stale accept round and re-route its command."""
         pending = self._pending_accepts.get((message.key, message.index))
@@ -594,6 +585,7 @@ class M2PaxosReplica(ConsensusReplica):
         else:
             self.propose(command)
 
+    @handles(AcceptCommandReply)
     def _on_accept_reply(self, src: int, message: AcceptCommandReply) -> None:
         """Owner: decide once a classic quorum acknowledged the accept.
 
@@ -609,8 +601,7 @@ class M2PaxosReplica(ConsensusReplica):
             self.stats.accepts_preempted += 1
             self._reroute_preempted(message.key, message.index, pending.command)
             return
-        pending.acks.add(src)
-        if len(pending.acks) < self.quorums.classic:
+        if not pending.acks.vote(src):
             return
         pending.decided = True
         self.record_decided(pending.command.command_id, DecisionKind.FAST)
@@ -619,6 +610,7 @@ class M2PaxosReplica(ConsensusReplica):
                                      epoch=pending.epoch),
                        size_bytes=64 + pending.command.payload_size)
 
+    @handles(DecideCommand)
     def _on_decide(self, src: int, message: DecideCommand) -> None:
         """Every replica: record the decision and execute the per-key log in order."""
         if message.epoch >= self.epochs.get(message.key, 0):

@@ -22,9 +22,13 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Set
 
 from repro.consensus.command import Command
-from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.interface import DecisionKind
 from repro.consensus.quorums import QuorumSystem
 from repro.kvstore.state_machine import StateMachine
+from repro.runtime.codec import UINT, FrozenSetCodec
+from repro.runtime.fields import COMMAND
+from repro.runtime.kernel import ProtocolKernel, QuorumTracker, handles
+from repro.runtime.registry import register_message
 from repro.sim.costs import CostModel
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
@@ -33,7 +37,8 @@ from repro.sim.simulator import Simulator
 # --------------------------------------------------------------------- wire
 
 
-@dataclass(frozen=True)
+@register_message(slot=UINT, command=COMMAND)
+@dataclass(frozen=True, slots=True)
 class SlotPropose:
     """Slot owner -> all: order ``command`` at ``slot``."""
 
@@ -41,7 +46,8 @@ class SlotPropose:
     command: Command
 
 
-@dataclass(frozen=True)
+@register_message(slot=UINT, sender=UINT)
+@dataclass(frozen=True, slots=True)
 class SlotAck:
     """Peer -> slot owner: acknowledgement of a proposed slot."""
 
@@ -49,7 +55,8 @@ class SlotAck:
     sender: int
 
 
-@dataclass(frozen=True)
+@register_message(slot=UINT, command=COMMAND)
+@dataclass(frozen=True, slots=True)
 class SlotCommit:
     """Slot owner -> all: the slot is decided (execute once contiguous)."""
 
@@ -57,7 +64,8 @@ class SlotCommit:
     command: Command
 
 
-@dataclass(frozen=True)
+@register_message(sender=UINT, slots=FrozenSetCodec(UINT))
+@dataclass(frozen=True, slots=True)
 class SkipAnnounce:
     """Replica -> all: the listed owned slots will never be used (no-ops)."""
 
@@ -65,16 +73,7 @@ class SkipAnnounce:
     slots: FrozenSet[int]
 
 
-@dataclass
-class MenciusStats:
-    """Counters surfaced to the harness."""
-
-    slots_proposed: int = 0
-    slots_committed: int = 0
-    slots_skipped: int = 0
-
-
-class MenciusReplica(ConsensusReplica):
+class MenciusReplica(ProtocolKernel):
     """A Mencius replica on the simulated substrate."""
 
     protocol_name = "mencius"
@@ -84,7 +83,9 @@ class MenciusReplica(ConsensusReplica):
         super().__init__(node_id, sim, network, quorums, state_machine, cost_model)
         self.n = quorums.n
         self.committed: Dict[int, Optional[Command]] = {}
-        self._acks: Dict[int, Set[int]] = {}
+        #: per-slot ack collection; Mencius commits only after *all* peers
+        #: answered, so the tracker threshold is the cluster size.
+        self._acks: Dict[int, QuorumTracker] = {}
         self._pending: Dict[int, Command] = {}
         self._next_own_slot = node_id
         self._used_own_slots: Set[int] = set()
@@ -93,13 +94,6 @@ class MenciusReplica(ConsensusReplica):
         #: slots other owners announced they will never use.
         self._skipped_by_others: Set[int] = set()
         self._next_execute = 0
-        self.stats = MenciusStats()
-        #: exact-type dispatch table for the message hot path.
-        self._handlers = {
-            SlotPropose: self._on_propose,
-            SlotAck: self._on_ack,
-            SlotCommit: self._on_commit,
-        }
 
     # ----------------------------------------------------------- client path
 
@@ -108,7 +102,7 @@ class MenciusReplica(ConsensusReplica):
         slot = self._allocate_slot()
         self.stats.slots_proposed += 1
         self._pending[slot] = command
-        self._acks[slot] = {self.node_id}
+        self._acks[slot] = QuorumTracker(self.n, extra_votes=1)
         self._used_own_slots.add(slot)
         self.broadcast(SlotPropose(slot=slot, command=command), include_self=False,
                        size_bytes=64 + command.payload_size)
@@ -121,16 +115,7 @@ class MenciusReplica(ConsensusReplica):
 
     # ------------------------------------------------------ message handling
 
-    def handle_message(self, src: int, message: object) -> None:
-        """Dispatch an incoming Mencius message."""
-        handler = self._handlers.get(type(message))
-        if handler is not None:
-            handler(src, message)
-        elif isinstance(message, SkipAnnounce):
-            self._on_skip(message)
-        else:
-            raise TypeError(f"unexpected message type {type(message).__name__}")
-
+    @handles(SlotPropose)
     def _on_propose(self, src: int, message: SlotPropose) -> None:
         """Peer side: skip own empty smaller slots, then acknowledge.
 
@@ -150,13 +135,13 @@ class MenciusReplica(ConsensusReplica):
                            include_self=False)
         self._execute_ready()
 
+    @handles(SlotAck)
     def _on_ack(self, src: int, message: SlotAck) -> None:
         """Slot owner: commit once *all* peers acknowledged (slowest-node bound)."""
         acks = self._acks.get(message.slot)
         if acks is None or message.slot not in self._pending:
             return
-        acks.add(src)
-        if len(acks) < self.n:
+        if not acks.vote(src):
             return
         command = self._pending.pop(message.slot)
         del self._acks[message.slot]
@@ -165,12 +150,14 @@ class MenciusReplica(ConsensusReplica):
         self.broadcast(SlotCommit(slot=message.slot, command=command),
                        size_bytes=64 + command.payload_size)
 
+    @handles(SlotCommit)
     def _on_commit(self, src: int, message: SlotCommit) -> None:
         """Every replica: record the decided slot and execute the log in order."""
         self.committed[message.slot] = message.command
         self._execute_ready()
 
-    def _on_skip(self, message: SkipAnnounce) -> None:
+    @handles(SkipAnnounce)
+    def _on_skip(self, src: int, message: SkipAnnounce) -> None:
         """Record slots another owner will never use."""
         self._skipped_by_others |= set(message.slots)
         self._execute_ready()

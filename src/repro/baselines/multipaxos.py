@@ -17,15 +17,18 @@ about) is included so the protocol keeps making progress in crash tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.command import Command
-from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.interface import DecisionKind
 from repro.consensus.quorums import QuorumSystem
 from repro.kvstore.state_machine import StateMachine
+from repro.runtime.codec import SINT, UINT, SeqCodec, TupleCodec
+from repro.runtime.fields import BALLOT, COMMAND
+from repro.runtime.kernel import ProtocolKernel, QuorumTracker, handles
+from repro.runtime.registry import register_message
 from repro.sim.costs import CostModel
-from repro.sim.failures import FailureDetector, Heartbeat
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
 
@@ -33,14 +36,16 @@ from repro.sim.simulator import Simulator
 # --------------------------------------------------------------------- wire
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND)
+@dataclass(frozen=True, slots=True)
 class ClientForward:
     """Non-leader replica -> leader: please order this client command."""
 
     command: Command
 
 
-@dataclass(frozen=True)
+@register_message(slot=UINT, command=COMMAND, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class AcceptSlot:
     """Leader -> replicas: accept ``command`` in log position ``slot``."""
 
@@ -49,7 +54,8 @@ class AcceptSlot:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(slot=UINT, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class AcceptSlotReply:
     """Replica -> leader: acknowledgement of an accepted slot."""
 
@@ -57,7 +63,8 @@ class AcceptSlotReply:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(slot=UINT, command=COMMAND)
+@dataclass(frozen=True, slots=True)
 class CommitSlot:
     """Leader -> replicas: ``slot`` is chosen; execute in log order."""
 
@@ -65,7 +72,8 @@ class CommitSlot:
     command: Command
 
 
-@dataclass(frozen=True)
+@register_message(ballot=BALLOT, from_slot=UINT)
+@dataclass(frozen=True, slots=True)
 class LeaderPrepare:
     """New leader -> replicas: prepare for take-over with a higher ballot."""
 
@@ -73,7 +81,9 @@ class LeaderPrepare:
     from_slot: int
 
 
-@dataclass(frozen=True)
+@register_message(ballot=BALLOT, accepted=SeqCodec(TupleCodec(UINT, COMMAND)),
+                  highest_slot=SINT)
+@dataclass(frozen=True, slots=True)
 class LeaderPrepareReply:
     """Replica -> new leader: accepted-but-uncommitted slots plus its log frontier."""
 
@@ -89,21 +99,11 @@ class _SlotState:
     slot: int
     command: Command
     ballot: Ballot
-    acks: Set[int] = field(default_factory=set)
+    votes: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     committed: bool = False
 
 
-@dataclass
-class MultiPaxosStats:
-    """Counters surfaced to the harness."""
-
-    commands_forwarded: int = 0
-    slots_proposed: int = 0
-    slots_committed: int = 0
-    elections: int = 0
-
-
-class MultiPaxosReplica(ConsensusReplica):
+class MultiPaxosReplica(ProtocolKernel):
     """A Multi-Paxos replica.
 
     Args:
@@ -127,25 +127,12 @@ class MultiPaxosReplica(ConsensusReplica):
         self._slot_states: Dict[int, _SlotState] = {}
         self._next_slot = 0
         self._next_execute = 0
-        self.stats = MultiPaxosStats()
         self.recovery_enabled = recovery_enabled
-        self.heartbeat_every_ms = heartbeat_every_ms
-        self.suspect_after_ms = suspect_after_ms
-        self.failure_detector: Optional[FailureDetector] = None
-        self._election_replies: Dict[int, LeaderPrepareReply] = {}
+        self._election_votes: Optional[QuorumTracker] = None
         self._electing = False
-
-    # --------------------------------------------------------------- startup
-
-    def start(self) -> None:
-        """Start the failure detector (only matters for crash experiments)."""
-        if self.recovery_enabled:
-            self.failure_detector = FailureDetector(
-                owner=self, peer_ids=self.network.node_ids,
-                heartbeat_every_ms=self.heartbeat_every_ms,
-                suspect_after_ms=self.suspect_after_ms,
-                on_suspect=self._on_suspect)
-            self.failure_detector.start()
+        if recovery_enabled:
+            self.use_failure_detector(heartbeat_every_ms, suspect_after_ms,
+                                      self._on_suspect)
 
     @property
     def is_leader(self) -> bool:
@@ -168,8 +155,8 @@ class MultiPaxosReplica(ConsensusReplica):
         slot = self._next_slot
         self._next_slot += 1
         self.stats.slots_proposed += 1
-        state = _SlotState(slot=slot, command=command, ballot=self.ballot)
-        state.acks.add(self.node_id)
+        state = _SlotState(slot=slot, command=command, ballot=self.ballot,
+                           votes=QuorumTracker(self.quorums.classic, extra_votes=1))
         self._slot_states[slot] = state
         self.log[slot] = command
         self.broadcast(AcceptSlot(slot=slot, command=command, ballot=self.ballot),
@@ -177,29 +164,7 @@ class MultiPaxosReplica(ConsensusReplica):
 
     # ------------------------------------------------------ message handling
 
-    def handle_message(self, src: int, message: object) -> None:
-        """Dispatch an incoming Multi-Paxos message."""
-        if self.failure_detector is not None:
-            self.failure_detector.observe_any_message(src)
-        if isinstance(message, Heartbeat):
-            if self.failure_detector is not None:
-                self.failure_detector.observe_heartbeat(message)
-            return
-        if isinstance(message, ClientForward):
-            self._on_forward(src, message)
-        elif isinstance(message, AcceptSlot):
-            self._on_accept(src, message)
-        elif isinstance(message, AcceptSlotReply):
-            self._on_accept_reply(src, message)
-        elif isinstance(message, CommitSlot):
-            self._on_commit(src, message)
-        elif isinstance(message, LeaderPrepare):
-            self._on_leader_prepare(src, message)
-        elif isinstance(message, LeaderPrepareReply):
-            self._on_leader_prepare_reply(src, message)
-        else:
-            raise TypeError(f"unexpected message type {type(message).__name__}")
-
+    @handles(ClientForward)
     def _on_forward(self, src: int, message: ClientForward) -> None:
         """Leader side of a forwarded client command."""
         if not self.is_leader:
@@ -208,6 +173,7 @@ class MultiPaxosReplica(ConsensusReplica):
             return
         self._lead(message.command)
 
+    @handles(AcceptSlot)
     def _on_accept(self, src: int, message: AcceptSlot) -> None:
         """Acceptor: store the slot value and acknowledge."""
         if message.ballot < self.ballot:
@@ -217,13 +183,13 @@ class MultiPaxosReplica(ConsensusReplica):
         self.log[message.slot] = message.command
         self.send(src, AcceptSlotReply(slot=message.slot, ballot=message.ballot))
 
+    @handles(AcceptSlotReply)
     def _on_accept_reply(self, src: int, message: AcceptSlotReply) -> None:
         """Leader: commit the slot once a majority has accepted it."""
         state = self._slot_states.get(message.slot)
         if state is None or state.committed or state.ballot != message.ballot:
             return
-        state.acks.add(src)
-        if len(state.acks) < self.quorums.classic:
+        if not state.votes.vote(src):
             return
         state.committed = True
         self.stats.slots_committed += 1
@@ -231,6 +197,7 @@ class MultiPaxosReplica(ConsensusReplica):
         self.broadcast(CommitSlot(slot=state.slot, command=state.command),
                        size_bytes=64 + state.command.payload_size)
 
+    @handles(CommitSlot)
     def _on_commit(self, src: int, message: CommitSlot) -> None:
         """Every replica: record the chosen value and execute the log in order."""
         self.committed[message.slot] = message.command
@@ -263,10 +230,11 @@ class MultiPaxosReplica(ConsensusReplica):
         self._electing = True
         self.stats.elections += 1
         self.ballot = Ballot(self.ballot.round + 1, self.node_id)
-        self._election_replies = {}
+        self._election_votes = QuorumTracker(self.quorums.classic, extra_votes=1)
         self.broadcast(LeaderPrepare(ballot=self.ballot, from_slot=self._next_execute),
                        include_self=False)
 
+    @handles(LeaderPrepare)
     def _on_leader_prepare(self, src: int, message: LeaderPrepare) -> None:
         if message.ballot < self.ballot:
             return
@@ -278,28 +246,28 @@ class MultiPaxosReplica(ConsensusReplica):
         self.send(src, LeaderPrepareReply(ballot=message.ballot, accepted=accepted,
                                           highest_slot=highest))
 
+    @handles(LeaderPrepareReply)
     def _on_leader_prepare_reply(self, src: int, message: LeaderPrepareReply) -> None:
         if not self._electing or message.ballot != self.ballot:
             return
-        self._election_replies[src] = message
-        if len(self._election_replies) + 1 < self.quorums.classic:
+        if not self._election_votes.vote(src, message):
             return
         self._electing = False
         self.leader_id = self.node_id
+        replies = self._election_votes.payloads()
         known_slots = ([self._next_slot - 1] +
                        list(self.log.keys()) + list(self.committed.keys()) +
-                       [reply.highest_slot for reply in self._election_replies.values()] +
-                       [slot for reply in self._election_replies.values()
-                        for slot, _ in reply.accepted])
+                       [reply.highest_slot for reply in replies] +
+                       [slot for reply in replies for slot, _ in reply.accepted])
         highest = max(known_slots, default=-1)
         self._next_slot = highest + 1
         # Re-propose every accepted-but-uncommitted slot reported by the quorum.
-        for reply in self._election_replies.values():
+        for reply in replies:
             for slot, command in reply.accepted:
                 if slot in self.committed or slot in self._slot_states:
                     continue
-                state = _SlotState(slot=slot, command=command, ballot=self.ballot)
-                state.acks.add(self.node_id)
+                state = _SlotState(slot=slot, command=command, ballot=self.ballot,
+                                   votes=QuorumTracker(self.quorums.classic, extra_votes=1))
                 self._slot_states[slot] = state
                 self.log[slot] = command
                 self.broadcast(AcceptSlot(slot=slot, command=command, ballot=self.ballot),

@@ -27,8 +27,8 @@ from typing import Optional, Sequence
 from repro.harness import figures
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.figures import throughput_cost_model
-from repro.harness.report import format_series
-from repro.metrics.perf import PerfRecord, TIMING_EXTRA_KEY, write_record
+from repro.harness.report import format_protocol_stats, format_series
+from repro.metrics.perf import TIMING_EXTRA_KEY, PerfRecord, write_record
 from repro.sim.batching import BatchingConfig
 from repro.sim.topology import EC2_SHORT_LABELS, EC2_SITES, ec2_five_sites
 
@@ -122,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--cells", nargs="+", default=None, metavar="PATTERN",
                               help="only run cells whose key matches one of these globs, "
                                    "e.g. 'fig9/caesar/*' (unmatched cells report '-')")
+    sweep_parser.add_argument("--list-cells", action="store_true",
+                              help="print the resolved cell grid (with --cells matches "
+                                   "marked) and exit without running anything")
     sweep_parser.add_argument("--quick", action="store_true",
                               help="use scaled-down parameters (fast, coarser numbers)")
     sweep_parser.add_argument("--out", type=pathlib.Path,
@@ -160,6 +163,11 @@ def _run(args: argparse.Namespace) -> str:
         if mean is not None:
             lines.append(f"  {EC2_SHORT_LABELS[site]:<3} {mean:7.1f}")
     lines.append(f"consistency violations: {result.consistency_violations}")
+    # The unified runtime stats record means no per-protocol formatting here:
+    # whatever counters moved are reported, regardless of the protocol.
+    counters = format_protocol_stats([replica.stats for replica in result.cluster.replicas])
+    if counters:
+        lines.append(counters)
     return "\n".join(lines)
 
 
@@ -227,10 +235,30 @@ def _combined_record(name: str, sweeps, wall_seconds: float) -> PerfRecord:
         extra=extra)
 
 
+def _list_cells(args: argparse.Namespace, targets: list) -> str:
+    """Resolve every target's cell grid without running any experiment."""
+    from repro.harness.sweep import planning_sweeps
+
+    outputs = []
+    for target in targets:
+        driver = FIGURE_DRIVERS[target]
+        overrides = dict(QUICK_OVERRIDES[target]) if args.quick else {}
+        with planning_sweeps() as plan:
+            driver(serial=True, cell_filter=args.cells, **overrides)
+        selected = len(plan.selected)
+        lines = [f"sweep {target} — {len(plan.cells)} cells, "
+                 f"{selected} selected, {len(plan.cells) - selected} filtered out"]
+        lines.extend(f"  {'*' if chosen else '-'} {key}" for key, chosen in plan.cells)
+        outputs.append("\n".join(lines))
+    return "\n\n".join(outputs)
+
+
 def _sweep(args: argparse.Namespace) -> str:
     targets = list(FIGURE_DRIVERS) if "all" in args.figures else list(args.figures)
     # Preserve figure order, drop duplicates.
     targets = sorted(set(targets), key=_figure_order)
+    if args.list_cells:
+        return _list_cells(args, targets)
     outputs = []
     for target in targets:
         driver = FIGURE_DRIVERS[target]

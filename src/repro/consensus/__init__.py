@@ -5,16 +5,16 @@ baselines) builds on: the command model and its conflict relation, logical
 timestamps, ballots, quorum-size math, and the replica/decision interfaces.
 """
 
-from repro.consensus.command import Command, CommandId, commands_conflict
-from repro.consensus.timestamps import LogicalTimestamp, TimestampGenerator
 from repro.consensus.ballots import Ballot
-from repro.consensus.quorums import QuorumSystem, classic_quorum_size, fast_quorum_size, max_failures
+from repro.consensus.command import Command, CommandId, commands_conflict
 from repro.consensus.interface import (
     ConsensusReplica,
     Decision,
     DecisionKind,
     ExecutionLog,
 )
+from repro.consensus.quorums import QuorumSystem, classic_quorum_size, fast_quorum_size, max_failures
+from repro.consensus.timestamps import LogicalTimestamp, TimestampGenerator
 
 __all__ = [
     "Command",

@@ -11,7 +11,9 @@ One :class:`CaesarReplica` instance plays both roles the paper describes:
 
 The phase structure, message names and decision rules follow the pseudocode
 of Figures 3-5 of the paper; the recovery phase lives in
-:mod:`repro.core.recovery`.
+:mod:`repro.core.recovery`.  Dispatch, quorum tracking, ballot bookkeeping
+and the failure detector come from the runtime kernel
+(:mod:`repro.runtime.kernel`) — this module contains protocol logic only.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.command import Command, CommandId
-from repro.consensus.interface import ConsensusReplica, DecisionKind
+from repro.consensus.interface import DecisionKind
 from repro.consensus.quorums import QuorumSystem
 from repro.consensus.timestamps import LogicalTimestamp, TimestampGenerator
 from repro.core.config import CaesarConfig
@@ -41,8 +43,8 @@ from repro.core.messages import (
 from repro.core.predecessors import WaitManager, compute_predecessors
 from repro.core.recovery import RecoveryManager
 from repro.kvstore.state_machine import StateMachine
+from repro.runtime.kernel import BallotRegister, ProtocolKernel, QuorumTracker, handles
 from repro.sim.costs import CostModel
-from repro.sim.failures import FailureDetector, Heartbeat
 from repro.sim.network import Network
 from repro.sim.node import Timer
 from repro.sim.simulator import Simulator
@@ -73,7 +75,7 @@ class LeaderState:
     phase: str
     timestamp: LogicalTimestamp
     whitelist: Optional[FrozenSet[CommandId]]
-    replies: Dict[int, object] = field(default_factory=dict)
+    votes: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     predecessors: Set[CommandId] = field(default_factory=set)
     timer: Optional[Timer] = None
     started_at: float = 0.0
@@ -82,20 +84,7 @@ class LeaderState:
     recovered: bool = False
 
 
-@dataclass
-class CaesarStats:
-    """Protocol-internal counters surfaced to the experiment harness."""
-
-    fast_decisions: int = 0
-    slow_decisions: int = 0
-    retries: int = 0
-    slow_proposals: int = 0
-    nacks_sent: int = 0
-    recoveries_started: int = 0
-    recoveries_completed: int = 0
-
-
-class CaesarReplica(ConsensusReplica):
+class CaesarReplica(ProtocolKernel):
     """A CAESAR node (command leader + acceptor) on the simulated substrate.
 
     Args:
@@ -122,39 +111,13 @@ class CaesarReplica(ConsensusReplica):
         self.delivery = DeliveryManager(self.history, self._execute_stable,
                                         on_delivered=self._after_delivery)
         self.leader_states: Dict[CommandId, LeaderState] = {}
-        self.ballots: Dict[CommandId, Ballot] = {}
-        self.stats = CaesarStats()
+        self.ballots = BallotRegister()
         self.wait_time_samples: List[float] = []
         self.recovery = RecoveryManager(self)
-        self.failure_detector: Optional[FailureDetector] = None
-        #: exact-type dispatch table for the message hot path (wire messages
-        #: are final classes, so a dict lookup replaces the isinstance chain).
-        self._handlers = {
-            FastPropose: self._on_fast_propose,
-            FastProposeReply: self._on_fast_propose_reply,
-            SlowPropose: self._on_slow_propose,
-            SlowProposeReply: self._on_slow_propose_reply,
-            Retry: self._on_retry,
-            RetryReply: self._on_retry_reply,
-            Stable: self._on_stable,
-            Recovery: self.recovery.on_recovery_message,
-            RecoveryReply: self.recovery.on_recovery_reply,
-            Heartbeat: self._on_heartbeat,
-        }
-
-    # --------------------------------------------------------------- startup
-
-    def start(self) -> None:
-        """Start background machinery (failure detector); call once per run."""
         if self.config.recovery_enabled:
-            self.failure_detector = FailureDetector(
-                owner=self,
-                peer_ids=self.network.node_ids,
-                heartbeat_every_ms=self.config.heartbeat_every_ms,
-                suspect_after_ms=self.config.suspect_after_ms,
-                on_suspect=self.recovery.on_suspect,
-            )
-            self.failure_detector.start()
+            self.use_failure_detector(self.config.heartbeat_every_ms,
+                                      self.config.suspect_after_ms,
+                                      self.recovery.on_suspect)
 
     # ----------------------------------------------------------- client path
 
@@ -174,6 +137,7 @@ class CaesarReplica(ConsensusReplica):
         """FASTPROPOSALPHASE (Figure 4, lines P1-P10)."""
         state = LeaderState(command=command, ballot=ballot, phase=PHASE_FAST,
                             timestamp=timestamp, whitelist=whitelist,
+                            votes=QuorumTracker(self.quorums.fast),
                             started_at=self.sim.now, phase_started_at=self.sim.now,
                             recovered=recovered)
         self.leader_states[command.command_id] = state
@@ -187,7 +151,7 @@ class CaesarReplica(ConsensusReplica):
         """SLOWPROPOSALPHASE (Figure 4, lines P21-P30), after a fast-quorum timeout."""
         self.stats.slow_proposals += 1
         state.phase = PHASE_SLOW
-        state.replies = {}
+        state.votes = QuorumTracker(self.quorums.classic)
         state.phase_started_at = self.sim.now
         state.went_slow = True
         self.broadcast(SlowPropose(command=state.command, ballot=state.ballot,
@@ -199,7 +163,7 @@ class CaesarReplica(ConsensusReplica):
         """RETRYPHASE (Figure 4, lines R1-R4)."""
         self.stats.retries += 1
         state.phase = PHASE_RETRY
-        state.replies = {}
+        state.votes = QuorumTracker(self.quorums.classic)
         state.went_slow = True
         command_id = state.command.command_id
         self.record_phase_time(command_id, "propose", self.sim.now - state.phase_started_at)
@@ -242,7 +206,7 @@ class CaesarReplica(ConsensusReplica):
         state = self.leader_states.get(command_id)
         if state is None or state.phase != PHASE_FAST:
             return
-        replies = list(state.replies.values())
+        replies = state.votes.payloads()
         if len(replies) < self.quorums.classic:
             # Not even a classic quorum yet: keep waiting (the cluster may have
             # more than f slow/crashed nodes right now).
@@ -255,43 +219,25 @@ class CaesarReplica(ConsensusReplica):
         else:
             self._start_slow_proposal(state)
 
-    def _merge_fast_replies(self, state: LeaderState) -> None:
+    def _merge_fast_replies(self, state: LeaderState) -> List[FastProposeReply]:
         """Aggregate reply timestamps/predecessors (Figure 4, lines P3-P4)."""
-        timestamps = [reply.timestamp for reply in state.replies.values()]
+        replies = state.votes.payloads()
+        timestamps = [reply.timestamp for reply in replies]
         if timestamps:
             state.timestamp = max(timestamps + [state.timestamp])
-        for reply in state.replies.values():
+        for reply in replies:
             state.predecessors |= set(reply.predecessors)
         state.predecessors.discard(state.command.command_id)
-
-    # ------------------------------------------------------ message handlers
-
-    def handle_message(self, src: int, message: object) -> None:
-        """Dispatch an incoming protocol message."""
-        if self.failure_detector is not None:
-            self.failure_detector.observe_any_message(src)
-        handler = self._handlers.get(type(message))
-        if handler is None:
-            raise TypeError(f"unexpected message type {type(message).__name__}")
-        handler(src, message)
-
-    def _on_heartbeat(self, src: int, message: object) -> None:
-        """Feed a heartbeat to the failure detector (no-op when disabled)."""
-        if self.failure_detector is not None:
-            self.failure_detector.observe_heartbeat(message)
+        return replies
 
     # -------------------------------------------------- acceptor: proposals
 
-    def _ballot_allows(self, command_id: CommandId, ballot: Ballot) -> bool:
-        """Whether a message at ``ballot`` may be processed for this command."""
-        current = self.ballots.get(command_id)
-        return current is None or ballot >= current
-
+    @handles(FastPropose)
     def _on_fast_propose(self, src: int, message: FastPropose) -> None:
         """Acceptor side of the fast proposal phase (Figure 4, lines P11-P20)."""
         command = message.command
         command_id = command.command_id
-        if not self._ballot_allows(command_id, message.ballot):
+        if not self.ballots.allows(command_id, message.ballot):
             return
         existing = self.history.get(command_id)
         if existing is not None and existing.status is CommandStatus.STABLE:
@@ -313,11 +259,12 @@ class CaesarReplica(ConsensusReplica):
 
         self.wait_manager.evaluate(command, message.timestamp, resolved)
 
+    @handles(SlowPropose)
     def _on_slow_propose(self, src: int, message: SlowPropose) -> None:
         """Acceptor side of the slow proposal phase (Figure 4, lines P31-P39)."""
         command = message.command
         command_id = command.command_id
-        if not self._ballot_allows(command_id, message.ballot):
+        if not self.ballots.allows(command_id, message.ballot):
             return
         existing = self.history.get(command_id)
         if existing is not None and existing.status is CommandStatus.STABLE:
@@ -345,7 +292,7 @@ class CaesarReplica(ConsensusReplica):
         command_id = command.command_id
         if waited_ms > 0:
             self.wait_time_samples.append(waited_ms)
-        if not self._ballot_allows(command_id, ballot):
+        if not self.ballots.allows(command_id, ballot):
             # A higher ballot took over while this proposal was parked.
             return
         entry = self.history.get(command_id)
@@ -371,43 +318,45 @@ class CaesarReplica(ConsensusReplica):
 
     # ------------------------------------------------------- leader: replies
 
+    @handles(FastProposeReply)
     def _on_fast_propose_reply(self, src: int, message: FastProposeReply) -> None:
         """Leader side of fast-proposal reply aggregation (Figure 4, lines P2-P10)."""
         state = self.leader_states.get(message.command_id)
         if state is None or state.phase != PHASE_FAST or state.ballot != message.ballot:
             return
-        state.replies[src] = message
-        if len(state.replies) < self.quorums.fast:
+        if not state.votes.vote(src, message):
             return
-        self._merge_fast_replies(state)
-        if any(not reply.ok for reply in state.replies.values()):
+        replies = self._merge_fast_replies(state)
+        if any(not reply.ok for reply in replies):
             self._start_retry(state)
         else:
             self._start_stable(state)
 
+    @handles(SlowProposeReply)
     def _on_slow_propose_reply(self, src: int, message: SlowProposeReply) -> None:
         """Leader side of slow-proposal reply aggregation (Figure 4, lines P22-P30)."""
         state = self.leader_states.get(message.command_id)
         if state is None or state.phase != PHASE_SLOW or state.ballot != message.ballot:
             return
-        state.replies[src] = message
-        if len(state.replies) < self.quorums.classic:
+        if not state.votes.vote(src, message):
             return
-        timestamps = [reply.timestamp for reply in state.replies.values()]
+        replies = state.votes.payloads()
+        timestamps = [reply.timestamp for reply in replies]
         state.timestamp = max(timestamps + [state.timestamp])
-        for reply in state.replies.values():
+        for reply in replies:
             state.predecessors |= set(reply.predecessors)
         state.predecessors.discard(message.command_id)
-        if any(not reply.ok for reply in state.replies.values()):
+        if any(not reply.ok for reply in replies):
             self._start_retry(state)
         else:
             self._start_stable(state)
 
+    @handles(Retry)
     def _on_retry(self, src: int, message: Retry) -> None:
         """Acceptor side of the retry phase (Figure 4, lines R5-R8): never rejects."""
         command = message.command
         command_id = command.command_id
-        if not self._ballot_allows(command_id, message.ballot):
+        if not self.ballots.allows(command_id, message.ballot):
             return
         existing = self.history.get(command_id)
         if existing is not None and existing.status is CommandStatus.STABLE:
@@ -424,21 +373,22 @@ class CaesarReplica(ConsensusReplica):
         self.send(src, RetryReply(command_id=command_id, ballot=message.ballot,
                                   timestamp=message.timestamp, predecessors=_freeze(extra)))
 
+    @handles(RetryReply)
     def _on_retry_reply(self, src: int, message: RetryReply) -> None:
         """Leader side of retry aggregation (Figure 4, lines R2-R4)."""
         state = self.leader_states.get(message.command_id)
         if state is None or state.phase != PHASE_RETRY or state.ballot != message.ballot:
             return
-        state.replies[src] = message
-        if len(state.replies) < self.quorums.classic:
+        if not state.votes.vote(src, message):
             return
-        for reply in state.replies.values():
+        for reply in state.votes.payloads():
             state.predecessors |= set(reply.predecessors)
         state.predecessors.discard(message.command_id)
         self._start_stable(state)
 
     # --------------------------------------------------------- stable phase
 
+    @handles(Stable)
     def _on_stable(self, src: int, message: Stable) -> None:
         """Acceptor side of the stable phase (Figure 4, lines S2-S7)."""
         command = message.command
@@ -446,9 +396,7 @@ class CaesarReplica(ConsensusReplica):
         existing = self.history.get(command_id)
         if existing is not None and existing.status is CommandStatus.STABLE:
             return
-        current_ballot = self.ballots.get(command_id)
-        if current_ballot is None or message.ballot >= current_ballot:
-            self.ballots[command_id] = message.ballot
+        self.ballots.observe(command_id, message.ballot)
         self.timestamps.observe(message.timestamp)
         predecessors = set(message.predecessors)
         predecessors.discard(command_id)
@@ -458,6 +406,18 @@ class CaesarReplica(ConsensusReplica):
         self.wait_manager.notify_change(command.key)
         self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
         self.delivery.on_stable(command)
+
+    # ------------------------------------------------------------- recovery
+
+    @handles(Recovery)
+    def _on_recovery(self, src: int, message: Recovery) -> None:
+        """Acceptor side of the recovery prepare (delegated to the manager)."""
+        self.recovery.on_recovery_message(src, message)
+
+    @handles(RecoveryReply)
+    def _on_recovery_reply(self, src: int, message: RecoveryReply) -> None:
+        """Recovering-leader side of recovery replies (delegated to the manager)."""
+        self.recovery.on_recovery_reply(src, message)
 
     def _execute_stable(self, command: Command) -> None:
         """Callback from the delivery manager: apply the command locally."""

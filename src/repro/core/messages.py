@@ -5,6 +5,10 @@ current leader for that command, and phase-specific payload.  Predecessor
 sets travel as frozensets of command ids, never as command bodies: the paper
 notes that only ids need to be exchanged because every node eventually
 receives every command via its own PROPOSE/STABLE messages.
+
+Every message type is registered with the runtime's message registry
+(:mod:`repro.runtime.registry`), which supplies the exact-type dispatch used
+by the kernel and the byte-accurate codec behind the footprint benchmarks.
 """
 
 from __future__ import annotations
@@ -15,9 +19,23 @@ from typing import FrozenSet, Optional
 from repro.consensus.ballots import Ballot
 from repro.consensus.command import Command, CommandId
 from repro.consensus.timestamps import LogicalTimestamp
+from repro.runtime.codec import BOOL, OptionalCodec
+from repro.runtime.fields import (
+    BALLOT,
+    COMMAND,
+    COMMAND_ID,
+    COMMAND_ID_SET,
+    OPTIONAL_BALLOT,
+    OPTIONAL_STRING,
+    OPTIONAL_TIMESTAMP,
+    TIMESTAMP,
+)
+from repro.runtime.registry import register_message
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND, ballot=BALLOT, timestamp=TIMESTAMP,
+                  whitelist=OptionalCodec(COMMAND_ID_SET))
+@dataclass(frozen=True, slots=True)
 class FastPropose:
     """Leader -> all: propose ``command`` at ``timestamp`` (fast proposal phase)."""
 
@@ -27,7 +45,9 @@ class FastPropose:
     whitelist: Optional[FrozenSet[CommandId]] = None
 
 
-@dataclass(frozen=True)
+@register_message(command_id=COMMAND_ID, ballot=BALLOT, timestamp=TIMESTAMP,
+                  predecessors=COMMAND_ID_SET, ok=BOOL)
+@dataclass(frozen=True, slots=True)
 class FastProposeReply:
     """Acceptor -> leader: confirm (``ok=True``) or reject the fast proposal.
 
@@ -43,7 +63,9 @@ class FastProposeReply:
     ok: bool
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND, ballot=BALLOT, timestamp=TIMESTAMP,
+                  predecessors=COMMAND_ID_SET)
+@dataclass(frozen=True, slots=True)
 class SlowPropose:
     """Leader -> all: proposal re-issued on a classic quorum after a fast-quorum timeout."""
 
@@ -53,7 +75,9 @@ class SlowPropose:
     predecessors: FrozenSet[CommandId]
 
 
-@dataclass(frozen=True)
+@register_message(command_id=COMMAND_ID, ballot=BALLOT, timestamp=TIMESTAMP,
+                  predecessors=COMMAND_ID_SET, ok=BOOL)
+@dataclass(frozen=True, slots=True)
 class SlowProposeReply:
     """Acceptor -> leader: confirm or reject a slow proposal."""
 
@@ -64,7 +88,9 @@ class SlowProposeReply:
     ok: bool
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND, ballot=BALLOT, timestamp=TIMESTAMP,
+                  predecessors=COMMAND_ID_SET)
+@dataclass(frozen=True, slots=True)
 class Retry:
     """Leader -> all: ask acceptance of the retried timestamp (never rejected)."""
 
@@ -74,7 +100,9 @@ class Retry:
     predecessors: FrozenSet[CommandId]
 
 
-@dataclass(frozen=True)
+@register_message(command_id=COMMAND_ID, ballot=BALLOT, timestamp=TIMESTAMP,
+                  predecessors=COMMAND_ID_SET)
+@dataclass(frozen=True, slots=True)
 class RetryReply:
     """Acceptor -> leader: acknowledgement of a retry, with extra predecessors."""
 
@@ -84,7 +112,9 @@ class RetryReply:
     predecessors: FrozenSet[CommandId]
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND, ballot=BALLOT, timestamp=TIMESTAMP,
+                  predecessors=COMMAND_ID_SET)
+@dataclass(frozen=True, slots=True)
 class Stable:
     """Leader -> all: the command's final timestamp and predecessor set."""
 
@@ -94,7 +124,8 @@ class Stable:
     predecessors: FrozenSet[CommandId]
 
 
-@dataclass(frozen=True)
+@register_message(command=COMMAND, ballot=BALLOT)
+@dataclass(frozen=True, slots=True)
 class Recovery:
     """Recovering node -> all: Paxos-like prepare for a suspected command."""
 
@@ -102,7 +133,10 @@ class Recovery:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@register_message(command_id=COMMAND_ID, ballot=BALLOT, known=BOOL,
+                  entry_ballot=OPTIONAL_BALLOT, timestamp=OPTIONAL_TIMESTAMP,
+                  predecessors=COMMAND_ID_SET, status=OPTIONAL_STRING, forced=BOOL)
+@dataclass(frozen=True, slots=True)
 class RecoveryReply:
     """Acceptor -> recovering node: the acceptor's current tuple for the command.
 

@@ -19,6 +19,7 @@ from repro.consensus.ballots import Ballot
 from repro.consensus.command import Command, CommandId
 from repro.core.history import CommandStatus
 from repro.core.messages import Recovery, RecoveryReply
+from repro.runtime.kernel import QuorumTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.caesar import CaesarReplica
@@ -30,7 +31,7 @@ class RecoveryAttempt:
 
     command: Command
     ballot: Ballot
-    replies: Dict[int, RecoveryReply] = field(default_factory=dict)
+    votes: QuorumTracker = field(default_factory=QuorumTracker.unreachable)
     dispatched: bool = False
 
 
@@ -82,7 +83,9 @@ class RecoveryManager:
         current = self.replica.ballots.get(command_id, Ballot.initial(command.origin))
         ballot = current.next_for(self.replica.node_id)
         self.replica.ballots[command_id] = ballot
-        self._attempts[command_id] = RecoveryAttempt(command=command, ballot=ballot)
+        self._attempts[command_id] = RecoveryAttempt(
+            command=command, ballot=ballot,
+            votes=QuorumTracker(self.replica.quorums.classic))
         self.replica.stats.recoveries_started += 1
         self.replica.broadcast(Recovery(command=command, ballot=ballot))
 
@@ -110,8 +113,7 @@ class RecoveryManager:
         attempt = self._attempts.get(message.command_id)
         if attempt is None or attempt.dispatched or message.ballot != attempt.ballot:
             return
-        attempt.replies[src] = message
-        if len(attempt.replies) < self.replica.quorums.classic:
+        if not attempt.votes.vote(src, message):
             return
         attempt.dispatched = True
         self._dispatch(attempt)
@@ -120,7 +122,7 @@ class RecoveryManager:
         """Figure 5, lines 5-27: resume from the most advanced surviving state."""
         replica = self.replica
         command = attempt.command
-        known = [reply for reply in attempt.replies.values() if reply.known]
+        known = [reply for reply in attempt.votes.payloads() if reply.known]
         if not known:
             timestamp = replica.timestamps.next_timestamp()
             replica._start_fast_proposal(command, attempt.ballot, timestamp, whitelist=None,
@@ -160,7 +162,7 @@ class RecoveryManager:
 
     def _resume_stable(self, attempt: RecoveryAttempt, reply: RecoveryReply) -> None:
         """A quorum member already knows the decision: re-broadcast STABLE."""
-        from repro.core.caesar import LeaderState, PHASE_RETRY  # local import avoids a cycle
+        from repro.core.caesar import PHASE_RETRY, LeaderState  # local import avoids a cycle
 
         replica = self.replica
         state = LeaderState(command=attempt.command, ballot=attempt.ballot, phase=PHASE_RETRY,
@@ -173,7 +175,7 @@ class RecoveryManager:
 
     def _resume_retry(self, attempt: RecoveryAttempt, reply: RecoveryReply) -> None:
         """An accepted tuple survives: finish through a retry phase."""
-        from repro.core.caesar import LeaderState, PHASE_FAST
+        from repro.core.caesar import PHASE_FAST, LeaderState
 
         replica = self.replica
         state = LeaderState(command=attempt.command, ballot=attempt.ballot, phase=PHASE_FAST,
@@ -186,7 +188,7 @@ class RecoveryManager:
 
     def _resume_slow_proposal(self, attempt: RecoveryAttempt, reply: RecoveryReply) -> None:
         """A slow-pending tuple survives: re-run the slow proposal phase."""
-        from repro.core.caesar import LeaderState, PHASE_FAST
+        from repro.core.caesar import PHASE_FAST, LeaderState
 
         replica = self.replica
         state = LeaderState(command=attempt.command, ballot=attempt.ballot, phase=PHASE_FAST,

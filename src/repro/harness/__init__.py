@@ -1,6 +1,6 @@
 """Experiment harness: cluster construction, workload drivers and figure reproduction."""
 
-from repro.harness.cluster import Cluster, ClusterConfig, build_cluster, PROTOCOLS
+from repro.harness.cluster import PROTOCOLS, Cluster, ClusterConfig, build_cluster
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,

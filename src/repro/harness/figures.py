@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Union
 
+from repro.core.config import CaesarConfig
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -31,7 +32,6 @@ from repro.harness.experiment import (
 )
 from repro.harness.report import format_series
 from repro.harness.sweep import run_sweep, sweep_cell
-from repro.core.config import CaesarConfig
 from repro.metrics.collector import MetricsCollector
 from repro.sim.batching import BatchingConfig
 from repro.sim.costs import CostModel

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.runtime.stats import ProtocolStats
+
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Render a fixed-width text table.
@@ -38,6 +40,28 @@ def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[obj
     lines = [title, render_row([str(h) for h in headers]),
              "-+-".join("-" * width for width in widths)]
     lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_protocol_stats(per_replica_stats: Sequence[ProtocolStats],
+                          title: str = "protocol counters") -> str:
+    """Render cluster-wide protocol counters without protocol special-casing.
+
+    Every replica carries the same unified
+    :class:`~repro.runtime.stats.ProtocolStats` record, so this sums the
+    records and prints whichever counters actually moved — no knowledge of
+    which protocol produced them is needed.  Returns an empty string when
+    nothing moved (e.g. before any command was ordered).
+    """
+    totals: Dict[str, int] = {}
+    for stats in per_replica_stats:
+        for name, value in stats.non_zero():
+            totals[name] = totals.get(name, 0) + value
+    if not totals:
+        return ""
+    lines = [f"{title}:"]
+    lines.extend(f"  {name.replace('_', ' '):<24} {value}"
+                 for name, value in totals.items())
     return "\n".join(lines)
 
 

@@ -23,21 +23,21 @@ naming the failing cell.
 from __future__ import annotations
 
 import itertools
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, process
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from fnmatch import fnmatchcase
 from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
-
-import multiprocessing
 
 from repro.harness.experiment import (
     ExperimentConfig,
     run_experiment,
     summarize_experiment,
 )
-from repro.metrics.perf import PerfRecord, TIMING_EXTRA_KEY, merge_partial_records
+from repro.metrics.perf import TIMING_EXTRA_KEY, PerfRecord, merge_partial_records
 from repro.sim.random import DeterministicRandom, stable_label
 from repro.sim.simulator import credit_external_events, total_events_executed
 
@@ -129,6 +129,46 @@ def product_grid(axes: Mapping[str, Sequence[object]]):
     names = list(axes)
     for values in itertools.product(*(axes[name] for name in names)):
         yield dict(zip(names, values))
+
+
+@dataclass
+class SweepPlan:
+    """The resolved grid of one (or more) sweeps, recorded without running.
+
+    Attributes:
+        cells: ``(key_string, selected)`` pairs in submission order, where
+            ``selected`` is whether the cell survives the active filter.
+    """
+
+    cells: List[Tuple[str, bool]] = field(default_factory=list)
+
+    @property
+    def selected(self) -> List[str]:
+        """Keys of the cells that would run."""
+        return [key for key, chosen in self.cells if chosen]
+
+
+#: Active plan collector; when set, :func:`run_sweep` records the grid into
+#: it and returns an empty result instead of executing anything.
+_ACTIVE_PLAN: Optional[SweepPlan] = None
+
+
+@contextmanager
+def planning_sweeps():
+    """Context manager putting :func:`run_sweep` into list-only mode.
+
+    Inside the block every ``run_sweep`` call records its resolved cell grid
+    (with filter outcomes) into the yielded :class:`SweepPlan` and executes
+    nothing; figure drivers still return well-formed (all-``None``) results.
+    Used by ``repro sweep --list-cells``.
+    """
+    global _ACTIVE_PLAN
+    plan = SweepPlan()
+    previous, _ACTIVE_PLAN = _ACTIVE_PLAN, plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN = previous
 
 
 @dataclass
@@ -251,6 +291,11 @@ def run_sweep(cells: Sequence[SweepCell], workers: Union[int, str, None] = None,
         kept = [cell for cell in selected if matches_any(cell.key, cell_filter)]
         skipped = len(selected) - len(kept)
         selected = kept
+    if _ACTIVE_PLAN is not None:
+        chosen = {id(cell) for cell in selected}
+        _ACTIVE_PLAN.cells.extend((key_string(cell.key), id(cell) in chosen)
+                                  for cell in cells)
+        return SweepResult(outcomes=[], workers=0, wall_seconds=0.0, skipped=skipped)
     worker_count = 1 if serial else resolve_workers(workers, len(selected))
 
     started = time.perf_counter()

@@ -1,7 +1,7 @@
 """Metrics collection and summary statistics for experiments."""
 
-from repro.metrics.collector import MetricsCollector, CommandSample
-from repro.metrics.stats import LatencySummary, summarize_latencies, percentile, throughput_timeline
+from repro.metrics.collector import CommandSample, MetricsCollector
+from repro.metrics.stats import LatencySummary, percentile, summarize_latencies, throughput_timeline
 
 __all__ = [
     "MetricsCollector",

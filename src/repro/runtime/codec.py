@@ -1,0 +1,214 @@
+"""Composable field codecs for the wire-message registry.
+
+A codec turns one field value into bytes and back.  Codecs are small,
+stateless objects composed bottom-up: primitives (varints, strings, booleans)
+are wrapped by structural codecs (optionals, frozensets, sequences, structs)
+until every field of a registered message type has an encoder.  The registry
+(:mod:`repro.runtime.registry`) concatenates the field encodings to produce
+the message's wire form, which is what the byte-accurate footprint
+measurements are taken from.
+
+Encodings are deterministic: unordered collections are sorted before
+encoding, so the same value always serializes to the same bytes (and the same
+byte *count*, which is what the wire accounting relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+#: Decoder result: (value, next_offset).
+Decoded = Tuple[object, int]
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` (non-negative) as a LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Read a LEB128 varint from ``data`` at ``offset``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+class Codec:
+    """Base interface: encode a value into a bytearray, decode it back."""
+
+    def encode(self, value: object, out: bytearray) -> None:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        raise NotImplementedError
+
+
+class UintCodec(Codec):
+    """Non-negative integer as a varint."""
+
+    def encode(self, value: object, out: bytearray) -> None:
+        encode_uvarint(value, out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        return decode_uvarint(data, offset)
+
+
+class SintCodec(Codec):
+    """Signed integer, zigzag-mapped onto a varint."""
+
+    def encode(self, value: object, out: bytearray) -> None:
+        encode_uvarint(-2 * value - 1 if value < 0 else value << 1, out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        raw, offset = decode_uvarint(data, offset)
+        return (raw >> 1) ^ -(raw & 1), offset
+
+
+class BoolCodec(Codec):
+    """Boolean as a single byte."""
+
+    def encode(self, value: object, out: bytearray) -> None:
+        out.append(1 if value else 0)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        return data[offset] == 1, offset + 1
+
+
+class StrCodec(Codec):
+    """Length-prefixed UTF-8 string."""
+
+    def encode(self, value: object, out: bytearray) -> None:
+        raw = value.encode("utf-8")
+        encode_uvarint(len(raw), out)
+        out += raw
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        length, offset = decode_uvarint(data, offset)
+        return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+class OptionalCodec(Codec):
+    """``None`` or an inner value, with a one-byte presence flag."""
+
+    def __init__(self, inner: Codec) -> None:
+        self.inner = inner
+
+    def encode(self, value: object, out: bytearray) -> None:
+        if value is None:
+            out.append(0)
+        else:
+            out.append(1)
+            self.inner.encode(value, out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        present = data[offset]
+        offset += 1
+        if not present:
+            return None, offset
+        return self.inner.decode(data, offset)
+
+
+class TupleCodec(Codec):
+    """Fixed-shape tuple: one codec per element, no length prefix."""
+
+    def __init__(self, *elements: Codec) -> None:
+        self.elements = elements
+
+    def encode(self, value: object, out: bytearray) -> None:
+        for element, codec in zip(value, self.elements):
+            codec.encode(element, out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        values = []
+        for codec in self.elements:
+            value, offset = codec.decode(data, offset)
+            values.append(value)
+        return tuple(values), offset
+
+
+class SeqCodec(Codec):
+    """Variable-length tuple of homogeneous elements, length-prefixed."""
+
+    def __init__(self, element: Codec) -> None:
+        self.element = element
+
+    def encode(self, value: object, out: bytearray) -> None:
+        encode_uvarint(len(value), out)
+        for element in value:
+            self.element.encode(element, out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        length, offset = decode_uvarint(data, offset)
+        values = []
+        for _ in range(length):
+            value, offset = self.element.decode(data, offset)
+            values.append(value)
+        return tuple(values), offset
+
+
+class FrozenSetCodec(Codec):
+    """Frozenset of homogeneous elements, sorted so the encoding is canonical."""
+
+    def __init__(self, element: Codec) -> None:
+        self.element = element
+
+    def encode(self, value: object, out: bytearray) -> None:
+        encode_uvarint(len(value), out)
+        for element in sorted(value):
+            self.element.encode(element, out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        length, offset = decode_uvarint(data, offset)
+        values = []
+        for _ in range(length):
+            value, offset = self.element.decode(data, offset)
+            values.append(value)
+        return frozenset(values), offset
+
+
+class StructCodec(Codec):
+    """A fixed-field object (dataclass) encoded as its fields in order.
+
+    Args:
+        factory: callable rebuilding the object from keyword arguments.
+        fields: ``(name, codec)`` pairs, in encoding order.
+    """
+
+    def __init__(self, factory: Callable, fields: Sequence[Tuple[str, Codec]]) -> None:
+        self.factory = factory
+        self.fields = tuple(fields)
+
+    def encode(self, value: object, out: bytearray) -> None:
+        for name, codec in self.fields:
+            codec.encode(getattr(value, name), out)
+
+    def decode(self, data: bytes, offset: int) -> Decoded:
+        kwargs = {}
+        for name, codec in self.fields:
+            kwargs[name], offset = codec.decode(data, offset)
+        return self.factory(**kwargs), offset
+
+
+#: Shared primitive instances (codecs are stateless).
+UINT = UintCodec()
+SINT = SintCodec()
+BOOL = BoolCodec()
+STRING = StrCodec()
+
+#: ``(int, int)`` identifier pairs: command ids, EPaxos instance ids.
+ID_PAIR = TupleCodec(SINT, SINT)

@@ -1,0 +1,195 @@
+"""The protocol-runtime kernel every replica runs on.
+
+:class:`ProtocolKernel` extends the bare
+:class:`~repro.consensus.interface.ConsensusReplica` (state machine, decision
+records, execution log) with the plumbing the five protocols used to
+hand-roll independently:
+
+* **declarative message dispatch** — handlers are marked with
+  ``@handles(MessageType)`` and collected per class; the kernel's uniform
+  :meth:`ProtocolKernel.handle_message` performs the exact-type lookup, so no
+  replica defines its own dispatch table;
+* **failure-detector scaffolding** — replicas declare their detector once
+  with :meth:`ProtocolKernel.use_failure_detector`; the kernel starts it,
+  feeds it heartbeats and counts every message as liveness evidence;
+* **quorum trackers** (:class:`QuorumTracker`) — insertion-ordered vote
+  collection with a threshold, replacing the per-protocol reply dicts and
+  ack sets;
+* **ballot registers** (:class:`BallotRegister`) — highest-joined-ballot
+  bookkeeping per command;
+* **unified statistics** — every replica carries one
+  :class:`~repro.runtime.stats.ProtocolStats` record.
+
+Protocol subclasses implement only their actual protocol logic: the
+``propose`` entry point and one ``@handles``-marked method per message type.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.interface import ConsensusReplica
+from repro.consensus.quorums import QuorumSystem
+from repro.kvstore.state_machine import StateMachine
+from repro.runtime.stats import ProtocolStats
+from repro.sim.costs import CostModel
+from repro.sim.failures import FailureDetector, Heartbeat
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+#: Function attribute carrying the message classes a method handles.
+_HANDLES_ATTR = "_kernel_handles"
+
+
+def handles(message_cls: Type):
+    """Mark a kernel method as the handler for ``message_cls``.
+
+    The kernel collects marked methods per class (subclasses may override a
+    base handler by re-marking a method for the same message type) and builds
+    the exact-type dispatch used by :meth:`ProtocolKernel.handle_message`.
+    """
+
+    def mark(fn: Callable) -> Callable:
+        setattr(fn, _HANDLES_ATTR, getattr(fn, _HANDLES_ATTR, ()) + (message_cls,))
+        return fn
+
+    return mark
+
+
+class QuorumTracker:
+    """Insertion-ordered vote collector with a fixed threshold.
+
+    Args:
+        threshold: votes (including ``extra_votes``) needed for the quorum.
+        extra_votes: votes counted implicitly (typically the collector's own
+            vote when it does not message itself).
+    """
+
+    __slots__ = ("threshold", "extra_votes", "_votes")
+
+    def __init__(self, threshold: int, extra_votes: int = 0) -> None:
+        self.threshold = threshold
+        self.extra_votes = extra_votes
+        self._votes: Dict[int, object] = {}
+
+    @classmethod
+    def unreachable(cls) -> "QuorumTracker":
+        """A tracker that can never become quorate.
+
+        Used as the dataclass default for vote-collecting state: a
+        construction site that forgets to pass a real tracker then stalls
+        loudly (nothing ever reaches quorum) instead of silently treating
+        zero votes as a quorum.
+        """
+        return cls(threshold=float("inf"))
+
+    def vote(self, src: int, payload: object = True) -> bool:
+        """Record ``src``'s vote (replacing any earlier one); True once quorate."""
+        self._votes[src] = payload
+        return len(self._votes) + self.extra_votes >= self.threshold
+
+    @property
+    def count(self) -> int:
+        """Votes recorded so far, including the implicit extra votes."""
+        return len(self._votes) + self.extra_votes
+
+    @property
+    def reached(self) -> bool:
+        """Whether the threshold has been met."""
+        return len(self._votes) + self.extra_votes >= self.threshold
+
+    def payloads(self) -> List[object]:
+        """Recorded vote payloads, in arrival order (implicit votes excluded)."""
+        return list(self._votes.values())
+
+    def voters(self) -> List[int]:
+        """Voter ids, in arrival order."""
+        return list(self._votes)
+
+    def get(self, src: int) -> Optional[object]:
+        """The payload ``src`` voted with, or ``None``."""
+        return self._votes.get(src)
+
+
+class BallotRegister(dict):
+    """Highest joined ballot per command (CAESAR-style ballot bookkeeping).
+
+    A plain ``dict`` of ``key -> Ballot`` (so reads and writes on the message
+    hot path stay native-speed) extended with the two ballot decision rules.
+    """
+
+    def allows(self, key, ballot: Ballot) -> bool:
+        """Whether a message at ``ballot`` may be processed for ``key``."""
+        current = self.get(key)
+        return current is None or ballot >= current
+
+    def observe(self, key, ballot: Ballot) -> None:
+        """Adopt ``ballot`` if it is at least as high as the current one."""
+        current = self.get(key)
+        if current is None or ballot >= current:
+            self[key] = ballot
+
+
+class ProtocolKernel(ConsensusReplica):
+    """Base class for protocol replicas running on the runtime kernel.
+
+    Subclasses mark message handlers with :func:`handles`; the kernel builds
+    the dispatch, owns the unified stats record, and runs the (optional)
+    failure detector declared via :meth:`use_failure_detector`.
+    """
+
+    #: per-class map ``message class -> handler method name`` (built once).
+    _handler_specs: Dict[Type, str] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        specs: Dict[Type, str] = {}
+        for base in reversed(cls.__mro__):
+            for name, attr in vars(base).items():
+                for message_cls in getattr(attr, _HANDLES_ATTR, ()):
+                    specs[message_cls] = name
+        cls._handler_specs = specs
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
+                 state_machine: StateMachine, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(node_id, sim, network, quorums, state_machine, cost_model)
+        self.stats = ProtocolStats()
+        self.failure_detector: Optional[FailureDetector] = None
+        self._fd_setup: Optional[Dict[str, object]] = None
+        #: bound-method dispatch table (exact type -> handler), built once per
+        #: instance so the hot path is a dict lookup plus a call.
+        self._dispatch = {message_cls: getattr(self, name)
+                          for message_cls, name in type(self)._handler_specs.items()}
+
+    # ------------------------------------------------------ message dispatch
+
+    def handle_message(self, src: int, message: object) -> None:
+        """Uniform dispatch path: liveness evidence, then the exact-type handler."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_any_message(src)
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+        handler(src, message)
+
+    @handles(Heartbeat)
+    def _on_heartbeat(self, src: int, message: Heartbeat) -> None:
+        """Feed a heartbeat to the failure detector (no-op when disabled)."""
+        if self.failure_detector is not None:
+            self.failure_detector.observe_heartbeat(message)
+
+    # ----------------------------------------------------- failure detection
+
+    def use_failure_detector(self, heartbeat_every_ms: float, suspect_after_ms: float,
+                             on_suspect: Callable[[int], None]) -> None:
+        """Declare the failure detector :meth:`start` should run."""
+        self._fd_setup = dict(heartbeat_every_ms=heartbeat_every_ms,
+                              suspect_after_ms=suspect_after_ms, on_suspect=on_suspect)
+
+    def start(self) -> None:
+        """Start background machinery (failure detector); call once per run."""
+        if self._fd_setup is not None and self.failure_detector is None:
+            self.failure_detector = FailureDetector(
+                owner=self, peer_ids=self.network.node_ids, **self._fd_setup)
+            self.failure_detector.start()

@@ -1,0 +1,149 @@
+"""The transport seam between protocol replicas and the world.
+
+Replicas talk to a :class:`Transport`, never to the simulated network
+directly: the transport owns outgoing batching (generalizing the Figure 9b
+batching to every protocol) and codec-backed wire accounting, and can be
+swapped for a different backend without touching protocol code.  The
+simulator-backed :class:`SimulatorTransport` is the first (and default)
+backend; a real-socket transport would implement the same small interface.
+
+Wire accounting: when the network's
+:attr:`~repro.sim.network.NetworkConfig.wire_accounting` flag is set, every
+transmitted message (or batch envelope) is also measured through the message
+registry's codec and accumulated into the network's ``codec_bytes_sent`` /
+``per_type_codec_bytes`` counters.  This is what the message-footprint
+benchmark reports: bytes as they would appear on a real wire, not per-field
+estimates.  The flag defaults to off so the measurement never taxes the
+simulation hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.registry import WIRE
+from repro.sim.batching import BatchBuffer, BatchingConfig
+
+
+class Transport:
+    """Interface a replica uses for all outgoing communication.
+
+    Implementations must deliver ``send`` asynchronously and may coalesce
+    messages (batching); ``flush_all`` forces out anything buffered.
+    """
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Ids of every reachable peer (including the local node)."""
+        raise NotImplementedError
+
+    def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
+        """Queue ``message`` for delivery to ``dst``."""
+        raise NotImplementedError
+
+    def broadcast(self, message: object, include_self: bool = True,
+                  size_bytes: int = 64) -> None:
+        """Send ``message`` to every peer (optionally excluding the local node)."""
+        raise NotImplementedError
+
+    def configure_batching(self, config: BatchingConfig) -> None:
+        """Install (or replace) an outgoing batching policy."""
+        raise NotImplementedError
+
+    def flush_all(self) -> None:
+        """Transmit anything held back by batching (no-op without batching)."""
+
+
+class SimulatorTransport(Transport):
+    """Transport backend over the simulated network.
+
+    Owns the per-destination batch buffer: messages to the same destination
+    within the batching window leave as one wire message.  Self-addressed
+    messages bypass batching (they never cross a real wire).
+
+    Args:
+        node: the owning node (supplies ``node_id`` and ``set_timer``).
+        network: the shared simulated network.
+        batching: optional batching policy; ``None`` sends eagerly.
+    """
+
+    def __init__(self, node, network, batching: Optional[BatchingConfig] = None) -> None:
+        self.node = node
+        self.network = network
+        self.batching = batching
+        self._buffer = BatchBuffer(batching) if batching is not None else None
+        self._flush_scheduled: Dict[int, bool] = {}
+        self.measure_wire = bool(getattr(network.config, "wire_accounting", False))
+        #: hot-path caches: the local address and the network's send method
+        #: (both immutable for the node's lifetime).
+        self._node_id = node.node_id
+        self._network_send = network.send
+
+    @property
+    def node_ids(self) -> List[int]:
+        return self.network.node_ids
+
+    def configure_batching(self, config: BatchingConfig) -> None:
+        """Turn on (or replace) the per-destination batching policy."""
+        self.batching = config
+        self._buffer = BatchBuffer(config)
+
+    @property
+    def batch_buffer(self) -> Optional[BatchBuffer]:
+        """The outgoing batch buffer, ``None`` when batching is off."""
+        return self._buffer
+
+    def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
+        """Send or buffer one message (self-sends are never delayed)."""
+        if self._buffer is None or dst == self._node_id:
+            # Eager path, inlined: this is every message of every non-batched
+            # experiment.
+            if self.measure_wire:
+                self._record_wire(message)
+            self._network_send(self._node_id, dst, message, size_bytes=size_bytes)
+            return
+        if self._buffer.add(dst, message, size_bytes):
+            self._flush_destination(dst)
+        elif not self._flush_scheduled.get(dst):
+            self._flush_scheduled[dst] = True
+            self.node.set_timer(self.batching.window_ms,
+                                lambda: self._flush_destination(dst))
+
+    def broadcast(self, message: object, include_self: bool = True,
+                  size_bytes: int = 64) -> None:
+        """Send ``message`` to every registered node."""
+        local = self.node.node_id
+        for dst in self.network.node_ids:
+            if dst == local and not include_self:
+                continue
+            self.send(dst, message, size_bytes=size_bytes)
+
+    def flush_all(self) -> None:
+        """Flush every destination's buffered batch immediately."""
+        if self._buffer is None:
+            return
+        for dst in self._buffer.destinations():
+            self._flush_destination(dst)
+
+    def _flush_destination(self, dst: int) -> None:
+        """Send the buffered batch for ``dst`` (if any) as one wire message."""
+        self._flush_scheduled[dst] = False
+        if self._buffer is None or not self._buffer.has_pending(dst):
+            return
+        batch, size_bytes = self._buffer.drain(dst)
+        self._transmit(dst, batch, size_bytes)
+
+    def _transmit(self, dst: int, message: object, size_bytes: int) -> None:
+        """Hand one wire message to the network, measuring it when enabled."""
+        if self.measure_wire:
+            self._record_wire(message)
+        self._network_send(self._node_id, dst, message, size_bytes=size_bytes)
+
+    def _record_wire(self, message: object) -> None:
+        """Accumulate the codec-measured size of one transmitted message."""
+        stats = self.network.stats
+        encoded = WIRE.wire_size(message)
+        stats.codec_bytes_sent += encoded
+        type_name = type(message).__name__
+        per_type = stats.per_type_codec_bytes
+        per_type[type_name] = per_type.get(type_name, 0) + encoded

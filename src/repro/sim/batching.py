@@ -18,10 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.runtime.codec import SeqCodec
+from repro.runtime.registry import MessageCodec, register_message
 
-@dataclass(frozen=True)
+
+@register_message(messages=SeqCodec(MessageCodec()))
+@dataclass(frozen=True, slots=True)
 class MessageBatch:
-    """A group of protocol messages delivered as a single wire message."""
+    """A group of protocol messages delivered as a single wire message.
+
+    On the wire a batch is its envelope plus the concatenated canonical
+    encodings of its inner messages (which must themselves be registered).
+    """
 
     messages: Tuple[object, ...]
 

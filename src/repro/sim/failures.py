@@ -17,10 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.runtime.codec import UINT
+from repro.runtime.registry import register_message
 from repro.sim.simulator import Simulator
 
 
-@dataclass
+@register_message(sender=UINT, sequence=UINT)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Periodic liveness message exchanged between nodes."""
 

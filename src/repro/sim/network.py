@@ -25,11 +25,16 @@ class NetworkConfig:
             delay (clamped so delays never go below 5% of the nominal value).
         drop_probability: independent probability that a message is lost.
         min_delay_ms: hard floor for any one-way delay.
+        wire_accounting: when ``True`` the transports also measure every
+            transmitted message through the registry codec and accumulate
+            the byte counts into :class:`NetworkStats` (off by default: the
+            measurement is pure accounting but costs wall-clock time).
     """
 
     jitter_ms: float = 0.0
     drop_probability: float = 0.0
     min_delay_ms: float = 0.01
+    wire_accounting: bool = False
 
 
 @dataclass
@@ -43,6 +48,9 @@ class NetworkStats:
     messages_partitioned: int = 0
     bytes_sent: int = 0
     per_type_sent: Dict[str, int] = field(default_factory=dict)
+    #: codec-measured bytes (filled only with ``wire_accounting`` enabled).
+    codec_bytes_sent: int = 0
+    per_type_codec_bytes: Dict[str, int] = field(default_factory=dict)
 
 
 class Network:

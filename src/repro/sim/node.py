@@ -2,7 +2,9 @@
 
 A :class:`Node` is one replica of a protocol.  It provides:
 
-* message sending/broadcast through the shared :class:`~repro.sim.network.Network`;
+* message sending/broadcast through a :class:`~repro.runtime.transport.Transport`
+  (by default the :class:`~repro.runtime.transport.SimulatorTransport` over the
+  shared :class:`~repro.sim.network.Network`);
 * a serial CPU: incoming messages are processed one at a time, each charging
   the cost given by the node's :class:`~repro.sim.costs.CostModel`, so that a
   node under load builds a queue and saturates (this is what bounds
@@ -16,9 +18,10 @@ Protocol implementations subclass :class:`Node` and implement
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
-from repro.sim.batching import BatchBuffer, BatchingConfig, MessageBatch
+from repro.runtime.transport import SimulatorTransport, Transport
+from repro.sim.batching import BatchingConfig, MessageBatch
 from repro.sim.costs import CostModel
 from repro.sim.events import Event
 from repro.sim.network import Network
@@ -53,7 +56,8 @@ class Node:
 
     def __init__(self, node_id: int, sim: Simulator, network: Network,
                  cost_model: Optional[CostModel] = None,
-                 batching: Optional[BatchingConfig] = None) -> None:
+                 batching: Optional[BatchingConfig] = None,
+                 transport: Optional[Transport] = None) -> None:
         self.node_id = node_id
         self.sim = sim
         self.network = network
@@ -62,51 +66,34 @@ class Node:
         self._cpu_free_at = 0.0
         self.cpu_busy_ms = 0.0
         self.messages_handled = 0
-        self.batching = batching
-        self._batch_buffer = BatchBuffer(batching) if batching is not None else None
-        self._flush_scheduled: Dict[int, bool] = {}
+        self.transport = transport or SimulatorTransport(self, network, batching)
         network.register(self)
+
+    @property
+    def batching(self) -> Optional[BatchingConfig]:
+        """The transport's batching policy (``None`` when batching is off)."""
+        return getattr(self.transport, "batching", None)
 
     # ------------------------------------------------------------------ I/O
 
     def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
-        """Send a message to another node (or to self through the network).
+        """Send a message to another node through the transport.
 
-        With batching enabled, the message is buffered per destination and
-        flushed when the batching window expires or the batch fills up;
-        self-addressed messages are never delayed by batching.
+        With batching enabled, the transport buffers the message per
+        destination and flushes when the batching window expires or the batch
+        fills up; self-addressed messages are never delayed by batching.
         """
         if self.crashed:
             return
-        if self._batch_buffer is None or dst == self.node_id:
-            self.network.send(self.node_id, dst, message, size_bytes=size_bytes)
-            return
-        full = self._batch_buffer.add(dst, message, size_bytes)
-        if full:
-            self._flush_destination(dst)
-        elif not self._flush_scheduled.get(dst):
-            self._flush_scheduled[dst] = True
-            self.set_timer(self.batching.window_ms, lambda: self._flush_destination(dst))
+        self.transport.send(dst, message, size_bytes=size_bytes)
 
     def enable_batching(self, config: BatchingConfig) -> None:
         """Turn on per-destination batching for this node's outgoing messages."""
-        self.batching = config
-        self._batch_buffer = BatchBuffer(config)
-
-    def _flush_destination(self, dst: int) -> None:
-        """Send the buffered batch for ``dst`` (if any) as one wire message."""
-        self._flush_scheduled[dst] = False
-        if self._batch_buffer is None or not self._batch_buffer.has_pending(dst):
-            return
-        batch, size_bytes = self._batch_buffer.drain(dst)
-        self.network.send(self.node_id, dst, batch, size_bytes=size_bytes)
+        self.transport.configure_batching(config)
 
     def flush_all_batches(self) -> None:
         """Flush every destination's buffered batch immediately."""
-        if self._batch_buffer is None:
-            return
-        for dst in self._batch_buffer.destinations():
-            self._flush_destination(dst)
+        self.transport.flush_all()
 
     def broadcast(self, message: object, include_self: bool = True, size_bytes: int = 64) -> None:
         """Send a message to every node in the cluster."""

@@ -8,8 +8,8 @@ each) drive the latency experiments; open-loop clients (Poisson arrivals at a
 target rate) drive the throughput experiments.
 """
 
+from repro.workload.clients import ClientPool, ClosedLoopClient, OpenLoopClient
 from repro.workload.generator import ConflictWorkload, WorkloadConfig
-from repro.workload.clients import ClosedLoopClient, OpenLoopClient, ClientPool
 
 __all__ = [
     "ConflictWorkload",

@@ -13,6 +13,7 @@ from repro.consensus.timestamps import LogicalTimestamp
 from repro.core.history import CommandStatus
 from repro.core.messages import Recovery, RecoveryReply
 from repro.core.recovery import RecoveryAttempt
+from repro.runtime.kernel import QuorumTracker
 from tests.conftest import build_caesar_cluster, make_command
 
 
@@ -37,13 +38,15 @@ class RecoveryHarness:
         self.manager = self.replica.recovery
         self.command = make_command(0, 0, key="x", origin=0)
         self.ballot = Ballot(1, self.replica.node_id)
-        self.attempt = RecoveryAttempt(command=self.command, ballot=self.ballot)
+        self.attempt = RecoveryAttempt(
+            command=self.command, ballot=self.ballot,
+            votes=QuorumTracker(self.replica.quorums.classic))
         self.manager._attempts[self.command.command_id] = self.attempt
         self.replica.ballots[self.command.command_id] = self.ballot
 
     def dispatch(self, replies):
         for src, reply in enumerate(replies, start=2):
-            self.attempt.replies[src] = reply
+            self.attempt.votes.vote(src, reply)
         self.manager._dispatch(self.attempt)
         return self.replica.leader_states.get(self.command.command_id)
 
@@ -173,7 +176,7 @@ class TestWhitelistReconstruction:
                               entry_ballot=Ballot.initial(0), timestamp=ts(5),
                               predecessors=frozenset(), status="fast-pending")
         harness.manager.on_recovery_reply(2, stale)
-        assert harness.attempt.replies == {}
+        assert harness.attempt.votes.payloads() == []
 
 
 class TestRecoveryMessageSide:

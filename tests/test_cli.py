@@ -59,3 +59,19 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Figure 7" in output
         assert "IN" in output
+
+    def test_sweep_list_cells_runs_nothing(self, capsys):
+        code = main(["sweep", "9", "--list-cells", "--cells", "fig9/caesar/*"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sweep 9" in output
+        # Filtered grid: caesar cells selected, others listed but skipped.
+        assert "* fig9/caesar/0.0" in output
+        assert "- fig9/multipaxos" in output
+
+    def test_sweep_list_cells_full_grid(self, capsys):
+        code = main(["sweep", "7", "--list-cells"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("multipaxos-IR", "multipaxos-IN", "mencius", "caesar-0%"):
+            assert f"* fig7/{name}" in output

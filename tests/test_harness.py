@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.cluster import ClusterConfig, PROTOCOLS, build_cluster
+from repro.harness.cluster import PROTOCOLS, ClusterConfig, build_cluster
 from repro.harness.experiment import (
     ExperimentConfig,
     attach_clients,

@@ -8,10 +8,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import CaesarConfig
-from repro.core.messages import FastPropose, FastProposeReply, Stable
 from repro.consensus.ballots import Ballot
 from repro.consensus.timestamps import LogicalTimestamp
+from repro.core.config import CaesarConfig
+from repro.core.messages import FastPropose, FastProposeReply, Stable
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.harness.report import format_series, format_table
 from repro.metrics.collector import MetricsCollector
