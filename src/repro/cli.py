@@ -9,6 +9,8 @@ alias)::
     repro figure 9 --quick
     repro sweep 9 --workers 4
     repro sweep all --workers auto --quick
+    repro chaos --protocol caesar --nemesis minority-partition --seed 3
+    repro chaos --matrix --quick
     repro topology
 
 The CLI is a thin wrapper over :mod:`repro.harness`; everything it prints can
@@ -134,6 +136,45 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--stable-records", action="store_true",
                               help="omit wall-clock fields from BENCH records so identical "
                                    "sweeps serialize byte-identically")
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run a protocol under a nemesis fault schedule and check the "
+             "client history for linearizability")
+    chaos_parser.add_argument("--protocol", default="caesar",
+                              choices=["caesar", "epaxos", "multipaxos", "mencius",
+                                       "m2paxos"])
+    chaos_parser.add_argument("--nemesis", default="minority-partition",
+                              help="named nemesis schedule (see --list-schedules)")
+    chaos_parser.add_argument("--seed", type=int, default=1)
+    chaos_parser.add_argument("--clients", type=int, default=2, help="clients per site")
+    chaos_parser.add_argument("--conflicts", type=float, default=50.0,
+                              help="percentage of conflicting commands (0-100)")
+    chaos_parser.add_argument("--fault-at", type=float, default=None,
+                              help="virtual ms at which the faults begin "
+                                   "(default: 1000, or 500 with --quick)")
+    chaos_parser.add_argument("--hold", type=float, default=None,
+                              help="virtual ms until the schedule has fully healed "
+                                   "(default: 2000, or 1000 with --quick)")
+    chaos_parser.add_argument("--recovery", action="store_true",
+                              help="run failure detectors / recovery machinery")
+    chaos_parser.add_argument("--matrix", action="store_true",
+                              help="run the protocols x schedules conformance matrix "
+                                   "(exit code 1 when any cell fails)")
+    chaos_parser.add_argument("--protocols", nargs="+", default=None, metavar="PROTO",
+                              help="protocols for --matrix (default: all five)")
+    chaos_parser.add_argument("--schedules", nargs="+", default=None, metavar="NAME",
+                              help="schedules for --matrix (default: the loss-free "
+                                   "conformance library)")
+    chaos_parser.add_argument("--random", type=int, default=None, metavar="N",
+                              help="run N generated random schedules instead of a "
+                                   "named one")
+    chaos_parser.add_argument("--include-lossy", action="store_true",
+                              help="let --random draw message-loss and crash faults")
+    chaos_parser.add_argument("--list-schedules", action="store_true",
+                              help="print the named schedule library and exit")
+    chaos_parser.add_argument("--quick", action="store_true",
+                              help="scaled-down fault window (fast smoke run)")
 
     subparsers.add_parser("topology", help="print the simulated five-site EC2 topology")
     return parser
@@ -284,6 +325,93 @@ def _sweep(args: argparse.Namespace) -> str:
     return "\n\n".join(outputs)
 
 
+def _chaos_config_kwargs(args: argparse.Namespace) -> dict:
+    """Translate chaos CLI flags into ChaosConfig keyword arguments.
+
+    ``--quick`` only shrinks the windows the user did not set explicitly.
+    """
+    fault_at = args.fault_at if args.fault_at is not None else (
+        500.0 if args.quick else 1000.0)
+    hold = args.hold if args.hold is not None else (1000.0 if args.quick else 2000.0)
+    kwargs = dict(seed=args.seed, clients_per_site=args.clients,
+                  conflict_rate=args.conflicts / 100.0, fault_at_ms=fault_at,
+                  fault_hold_ms=hold, recovery=args.recovery)
+    if args.quick:
+        kwargs["settle_ms"] = 800.0
+    return kwargs
+
+
+def _chaos_single(result) -> str:
+    """Render one ChaosResult in full detail."""
+    lines = [result.plan.describe(), ""]
+    lines.append("nemesis log:")
+    lines.extend(f"  t={when:>7.0f}ms  {what}" for when, what in result.nemesis_log)
+    stats = result.client_stats
+    lines.append("")
+    lines.append(f"client operations:  {stats.total} taped, {stats.completed} completed, "
+                 f"{stats.pending} pending, {stats.keys} keys")
+    lines.append(f"decisions:          {result.fast_decisions} fast, "
+                 f"{result.slow_decisions} slow, {result.recoveries} recoveries")
+    if result.fault_stats:
+        lines.append("fault plane:        "
+                     + ", ".join(f"{k}={v}" for k, v in sorted(result.fault_stats.items())))
+    lines.append(f"progress after heal: {result.probes_completed}/{result.probes_submitted}"
+                 f" probes completed")
+    lines.append(f"linearizability:    {result.report.describe()}")
+    if result.internal_violations:
+        lines.append(f"internal divergence: {len(result.internal_violations)} violations")
+    lines.append("")
+    lines.append(f"verdict: {result.verdict()}")
+    return "\n".join(lines)
+
+
+def _chaos(args: argparse.Namespace) -> tuple:
+    """Run the chaos subcommand; returns ``(output, exit_code)``."""
+    from repro.chaos.nemesis import NEMESIS_SCHEDULES, random_plan
+    from repro.harness.chaos import (ChaosConfig, default_conformance_schedules,
+                                     format_matrix, run_chaos, run_conformance_matrix)
+    from repro.sim.random import DeterministicRandom
+
+    if args.list_schedules:
+        from repro.chaos.nemesis import CONFORMANCE_SCHEDULES
+
+        lines = ["named nemesis schedules ('*' = in the loss-free conformance set):"]
+        for name, builder in sorted(NEMESIS_SCHEDULES.items()):
+            marker = "*" if name in CONFORMANCE_SCHEDULES else " "
+            lines.append(f"  {marker} {name:22s} {(builder.__doc__ or '').strip()}")
+        return "\n".join(lines), 0
+
+    kwargs = _chaos_config_kwargs(args)
+    if args.matrix:
+        protocols = args.protocols or ["caesar", "epaxos", "m2paxos", "mencius",
+                                       "multipaxos"]
+        schedules = args.schedules or default_conformance_schedules()
+        results = run_conformance_matrix(protocols, schedules, **kwargs)
+        ok = all(result.ok for result in results)
+        return format_matrix(results), 0 if ok else 1
+
+    if args.random is not None:
+        root = DeterministicRandom(args.seed)
+        outputs = []
+        failures = 0
+        for index in range(args.random):
+            rng = root.fork_cell(("chaos-random", args.seed, index))
+            plan = random_plan(rng, 5, kwargs["fault_at_ms"], kwargs["fault_hold_ms"],
+                               include_lossy=args.include_lossy)
+            result = run_chaos(ChaosConfig(protocol=args.protocol, plan=plan, **kwargs))
+            failures += 0 if result.ok else 1
+            outputs.append(f"[{index}] {result.verdict():24s} "
+                           f"{len(plan.faults)} faults, "
+                           f"{result.client_stats.completed} ops, "
+                           f"probes {result.probes_completed}/{result.probes_submitted}")
+        outputs.append(f"{args.random - failures}/{args.random} random schedules passed")
+        return "\n".join(outputs), 0 if failures == 0 else 1
+
+    result = run_chaos(ChaosConfig(protocol=args.protocol, schedule=args.nemesis,
+                                   **kwargs))
+    return _chaos_single(result), 0 if result.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -296,6 +424,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _figure(args)
     elif args.command == "sweep":
         output = _sweep(args)
+    elif args.command == "chaos":
+        output, code = _chaos(args)
+        print(output)
+        return code
     elif args.command == "topology":
         output = ec2_five_sites().describe()
     else:  # pragma: no cover - argparse enforces the choices

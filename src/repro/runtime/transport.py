@@ -74,6 +74,11 @@ class SimulatorTransport(Transport):
         self._buffer = BatchBuffer(batching) if batching is not None else None
         self._flush_scheduled: Dict[int, bool] = {}
         self.measure_wire = bool(getattr(network.config, "wire_accounting", False))
+        #: fault-filter seam: when installed (chaos runs only), every outgoing
+        #: wire message is offered to the filter first, which may absorb it
+        #: (partition/drop), duplicate it or delay it.  ``None`` costs one
+        #: branch per send and keeps the default path byte-identical.
+        self._fault_filter = None
         #: hot-path caches: the local address and the network's send method
         #: (both immutable for the node's lifetime).
         self._node_id = node.node_id
@@ -93,11 +98,26 @@ class SimulatorTransport(Transport):
         """The outgoing batch buffer, ``None`` when batching is off."""
         return self._buffer
 
+    def install_fault_filter(self, faults) -> None:
+        """Install (or remove, with ``None``) the nemesis link-fault filter.
+
+        The filter object must expose ``intercept(src, dst, message,
+        size_bytes) -> bool`` returning ``True`` when it consumed the message
+        (blocked, dropped, or rescheduled it itself).  Installed on every
+        replica's transport by :class:`repro.chaos.nemesis.Nemesis`, so all
+        protocols inherit every fault primitive through this one seam.
+        """
+        self._fault_filter = faults
+
     def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
         """Send or buffer one message (self-sends are never delayed)."""
         if self._buffer is None or dst == self._node_id:
             # Eager path, inlined: this is every message of every non-batched
             # experiment.
+            faults = self._fault_filter
+            if faults is not None and faults.intercept(self._node_id, dst, message,
+                                                       size_bytes):
+                return
             if self.measure_wire:
                 self._record_wire(message)
             self._network_send(self._node_id, dst, message, size_bytes=size_bytes)
@@ -135,6 +155,9 @@ class SimulatorTransport(Transport):
 
     def _transmit(self, dst: int, message: object, size_bytes: int) -> None:
         """Hand one wire message to the network, measuring it when enabled."""
+        faults = self._fault_filter
+        if faults is not None and faults.intercept(self._node_id, dst, message, size_bytes):
+            return
         if self.measure_wire:
             self._record_wire(message)
         self._network_send(self._node_id, dst, message, size_bytes=size_bytes)

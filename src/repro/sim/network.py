@@ -45,6 +45,10 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     messages_to_crashed: int = 0
+    #: in-flight messages whose destination crashed (and possibly restarted)
+    #: between send and delivery — the connection died with the process, so
+    #: they are never delivered, even if the node is back up.
+    messages_dead_in_flight: int = 0
     messages_partitioned: int = 0
     bytes_sent: int = 0
     per_type_sent: Dict[str, int] = field(default_factory=dict)
@@ -155,13 +159,32 @@ class Network:
             stats.messages_dropped += 1
             return
 
-        self.sim.schedule(self.delay(src, dst), self._deliver, args=(src, dst, message))
+        # The send time rides along so delivery can tell whether the
+        # destination crashed while the message was in flight (sim._now is
+        # read directly: this path runs once per message).
+        self.sim.schedule(self.delay(src, dst), self._deliver,
+                          args=(src, dst, message, self.sim._now))
 
-    def _deliver(self, src: int, dst: int, message: object) -> None:
-        """Hand a message that survived the network to its destination node."""
+    def _deliver(self, src: int, dst: int, message: object, sent_at: float) -> None:
+        """Hand a message that survived the network to its destination node.
+
+        A message is dead on arrival when the destination is down, when it
+        crashed at any point after the send (a restart does not resurrect
+        in-flight traffic: the connection died with the process), or when the
+        link was partitioned while the message was in flight.
+        """
         node = self._nodes.get(dst)
         if node is None or node.crashed:
             self.stats.messages_to_crashed += 1
+            return
+        # Strictly-after comparison: a crash at the same virtual instant as
+        # the send is logically concurrent with it (crash-then-restart-then-
+        # send sequences within one instant must still deliver).
+        if node.last_crashed_at > sent_at:
+            self.stats.messages_dead_in_flight += 1
+            return
+        if self._partitions and (src, dst) in self._partitions:
+            self.stats.messages_partitioned += 1
             return
         self.stats.messages_delivered += 1
         node.receive(src, message)
@@ -179,6 +202,10 @@ class NodeLike:
 
     node_id: int
     crashed: bool
+    #: virtual time of the node's most recent crash (-1.0 if it never crashed);
+    #: deliveries compare it against the send time to drop in-flight messages
+    #: that span a crash.
+    last_crashed_at: float = -1.0
 
     def receive(self, src: int, message: object) -> None:
         """Accept an incoming message from ``src``."""

@@ -63,6 +63,13 @@ class Node:
         self.network = network
         self.cost_model = cost_model or CostModel()
         self.crashed = False
+        #: virtual time of the most recent crash; the network drops in-flight
+        #: messages that were sent before this instant.
+        self.last_crashed_at = -1.0
+        #: local-clock rate relative to virtual time: every timer delay is
+        #: multiplied by this factor (1.0 = perfect clock; the nemesis clock
+        #: skew fault raises or lowers it).
+        self.timer_scale = 1.0
         self._cpu_free_at = 0.0
         self.cpu_busy_ms = 0.0
         self.messages_handled = 0
@@ -163,19 +170,31 @@ class Node:
     # ---------------------------------------------------------------- timers
 
     def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> Timer:
-        """Run ``callback`` after ``delay_ms`` of virtual time unless cancelled or crashed."""
+        """Run ``callback`` after ``delay_ms`` of local-clock time unless cancelled or crashed.
+
+        The delay is measured on the node's *local* clock: with a skewed
+        ``timer_scale`` the timer fires earlier (fast clock) or later (slow
+        clock) than the nominal delay.  ``timer_scale == 1.0`` multiplies
+        exactly, so unskewed schedules are bit-identical.
+        """
 
         def fire() -> None:
             if not self.crashed:
                 callback()
 
-        return Timer(self.sim.schedule(delay_ms, fire))
+        return Timer(self.sim.schedule(delay_ms * self.timer_scale, fire))
 
     # ----------------------------------------------------------- life cycle
 
     def crash(self) -> None:
-        """Crash the node: it stops sending, receiving and firing timers."""
+        """Crash the node: it stops sending, receiving and firing timers.
+
+        Messages already in flight towards this node are lost for good: the
+        network compares its ``last_crashed_at`` against each message's send
+        time, so a later restart never resurrects pre-crash traffic.
+        """
         self.crashed = True
+        self.last_crashed_at = self.sim.now
         self.on_crash()
 
     def restart(self) -> None:

@@ -43,12 +43,18 @@ class ClosedLoopClient:
             (e.g. the replica crashed), the client re-submits a fresh command
             to another replica.
         fallback_replicas: replicas to reconnect to after a timeout.
+        history: optional invocation/response tape
+            (:class:`repro.chaos.history.HistoryTape`).  Every submission is
+            taped as an invocation; a command abandoned after a reconnect
+            timeout stays *pending* on the tape — the protocol may still
+            execute it, and the linearizability checker accounts for that.
     """
 
     def __init__(self, client_id: int, replica: ConsensusReplica, workload: ConflictWorkload,
                  sim: Simulator, metrics: MetricsCollector, think_time_ms: float = 0.0,
                  reconnect_timeout_ms: Optional[float] = None,
-                 fallback_replicas: Optional[List[ConsensusReplica]] = None) -> None:
+                 fallback_replicas: Optional[List[ConsensusReplica]] = None,
+                 history=None) -> None:
         self.client_id = client_id
         self.replica = replica
         self.workload = workload
@@ -57,6 +63,7 @@ class ClosedLoopClient:
         self.think_time_ms = think_time_ms
         self.reconnect_timeout_ms = reconnect_timeout_ms
         self.fallback_replicas = fallback_replicas or []
+        self.history = history
         self.completed = 0
         self.timeouts = 0
         self._running = False
@@ -80,9 +87,16 @@ class ClosedLoopClient:
             command = dataclasses.replace(command, origin=self.replica.node_id)
         submitted_at = self.sim.now
         self._outstanding_seq = command.command_id[1]
+        taped = (self.history.invoke(self.client_id, command.key, command.operation,
+                                     command.value)
+                 if self.history is not None else None)
 
         def on_result(result: CommandResult, cmd: Command = command,
                       started: float = submitted_at) -> None:
+            if taped is not None:
+                # The response is taped even after a reconnect replaced the
+                # command: the client *observed* this output.
+                self.history.respond(taped, result.value)
             if self._outstanding_seq != cmd.command_id[1]:
                 return  # A reconnection already replaced this command.
             self._outstanding_seq = None
@@ -125,11 +139,14 @@ class OpenLoopClient:
         rate_per_second: average injection rate.
         rng: random stream for exponential inter-arrival times.
         stop_after_ms: stop injecting after this much virtual time (optional).
+        history: optional invocation/response tape (see
+            :class:`ClosedLoopClient`).
     """
 
     def __init__(self, client_id: int, replica: ConsensusReplica, workload: ConflictWorkload,
                  sim: Simulator, metrics: MetricsCollector, rate_per_second: float,
-                 rng: DeterministicRandom, stop_after_ms: Optional[float] = None) -> None:
+                 rng: DeterministicRandom, stop_after_ms: Optional[float] = None,
+                 history=None) -> None:
         self.client_id = client_id
         self.replica = replica
         self.workload = workload
@@ -138,6 +155,7 @@ class OpenLoopClient:
         self.rate_per_second = rate_per_second
         self.rng = rng
         self.stop_after_ms = stop_after_ms
+        self.history = history
         self.submitted = 0
         self.completed = 0
         self._running = False
@@ -170,9 +188,14 @@ class OpenLoopClient:
         command = self.workload.next_command()
         submitted_at = self.sim.now
         self.submitted += 1
+        taped = (self.history.invoke(self.client_id, command.key, command.operation,
+                                     command.value)
+                 if self.history is not None else None)
 
         def on_result(result: CommandResult, cmd: Command = command,
                       started: float = submitted_at) -> None:
+            if taped is not None:
+                self.history.respond(taped, result.value)
             self.completed += 1
             self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
                                         latency_ms=self.sim.now - started,

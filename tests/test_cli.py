@@ -75,3 +75,45 @@ class TestCommands:
         output = capsys.readouterr().out
         for name in ("multipaxos-IR", "multipaxos-IN", "mencius", "caesar-0%"):
             assert f"* fig7/{name}" in output
+
+
+class TestChaosCommand:
+    def test_list_schedules(self, capsys):
+        assert main(["chaos", "--list-schedules"]) == 0
+        output = capsys.readouterr().out
+        assert "* minority-partition" in output
+        assert "flaky-links" in output
+
+    def test_single_run_quick(self, capsys):
+        code = main(["chaos", "--protocol", "caesar", "--nemesis", "minority-partition",
+                     "--seed", "3", "--quick"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "verdict: PASS" in output
+        assert "nemesis log:" in output
+        assert "linearizable" in output
+
+    def test_matrix_quick_subset(self, capsys):
+        code = main(["chaos", "--matrix", "--quick", "--seed", "7",
+                     "--protocols", "caesar", "mencius",
+                     "--schedules", "minority-partition", "clock-skew"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "4/4 cells passed" in output
+
+    def test_matrix_failure_sets_exit_code(self, capsys):
+        # Mencius has no retransmission: message loss costs it liveness.
+        code = main(["chaos", "--matrix", "--quick", "--seed", "3",
+                     "--protocols", "mencius", "--schedules", "flaky-links"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_random_schedules(self, capsys):
+        code = main(["chaos", "--protocol", "caesar", "--random", "2", "--seed", "5",
+                     "--quick"])
+        assert code == 0
+        assert "2/2 random schedules passed" in capsys.readouterr().out
+
+    def test_chaos_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--protocol", "raft"])

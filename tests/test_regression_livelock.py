@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.m2paxos import M2PaxosReplica
+from repro.consensus.command import Command
 from test_properties_consistency import check_invariants, run_workload
 
 #: The Hypothesis falsifying example: replicas 0, 1 and 2 each submit a
@@ -85,3 +86,47 @@ class TestPinnedSymmetricCases:
     def test_three_way_contention(self, protocol):
         replicas, submitted, finished = run_workload(protocol, PINNED_STEPS)
         check_invariants(replicas, submitted, finished)
+
+
+class TestPinnedM2PaxosPartitionHeal:
+    """M2Paxos ownership acquisition across a partition-then-heal nemesis.
+
+    Both sides of a queue-mode partition contend for the same key while the
+    cut is up; acquisition rounds from the minority side arrive in a burst at
+    the heal.  The ownership machinery must converge within a bounded number
+    of simulation events — an acquisition retry storm after the heal is the
+    regression this pins (non-Hypothesis: the interleaving replays exactly).
+    """
+
+    #: Event budget: the pinned run takes ~206 events; a livelock regression
+    #: burns the 300s virtual-time deadline instead (hundreds of thousands).
+    MAX_EVENTS = 5_000
+
+    def test_ownership_contention_across_partition_heal_converges(self):
+        from repro.chaos.nemesis import Nemesis, NemesisPlan, PartitionFault
+        from repro.harness.cluster import ClusterConfig, build_cluster
+
+        cluster = build_cluster(ClusterConfig(protocol="m2paxos", seed=11))
+        plan = NemesisPlan("partition-heal", (
+            PartitionFault(at_ms=40.0, heal_at_ms=400.0, groups=((0, 1, 2), (3, 4))),))
+        Nemesis(cluster, plan)
+
+        submitted = []
+        # Same-key contention from both sides of the cut, before and during
+        # the partition (origins 3 and 4 are in the minority).
+        for index, (origin, delay) in enumerate([(0, 0.0), (3, 0.0), (1, 60.0),
+                                                 (4, 80.0), (2, 200.0), (3, 250.0)]):
+            command = Command(command_id=(origin, index), key="key-0", operation="put",
+                              value=f"v{index}", origin=origin)
+            submitted.append(command)
+            cluster.sim.schedule(delay, lambda r=cluster.replicas[origin],
+                                 c=command: r.submit(c))
+
+        ids = [c.command_id for c in submitted]
+        finished = cluster.run_until_executed(ids, deadline_ms=300_000)
+        assert finished, "m2paxos did not converge after the partition healed"
+        assert cluster.sim.steps_executed < self.MAX_EVENTS
+        assert cluster.check_consistency() == []
+        owners = {r.owners.get("key-0") for r in cluster.replicas
+                  if isinstance(r, M2PaxosReplica)}
+        assert len(owners) == 1

@@ -16,6 +16,8 @@ class DetectorNode(Node):
         super().__init__(*args, **kwargs)
         self.detector = None
         self.suspected = []
+        #: every received heartbeat as ``(sender, arrival time)``.
+        self.heartbeats_seen = []
 
     def attach_detector(self, peer_ids, heartbeat_every_ms=20.0, suspect_after_ms=100.0):
         self.detector = FailureDetector(owner=self, peer_ids=peer_ids,
@@ -25,8 +27,10 @@ class DetectorNode(Node):
         self.detector.start()
 
     def handle_message(self, src: int, message: object) -> None:
-        if isinstance(message, Heartbeat) and self.detector is not None:
-            self.detector.observe_heartbeat(message)
+        if isinstance(message, Heartbeat):
+            self.heartbeats_seen.append((message.sender, self.sim.now))
+            if self.detector is not None:
+                self.detector.observe_heartbeat(message)
 
 
 def build_detector_cluster(n: int = 3):
@@ -134,3 +138,59 @@ class TestFailureDetector:
         nodes[2].crash()
         sim.run(until=1000.0)
         assert nodes[0].suspected.count(2) == 1
+
+
+class TestFailureDetectorTiming:
+    """Suspicion must fire after — and only after — ``suspect_after_ms`` of silence."""
+
+    def test_no_suspicion_before_silence_threshold(self):
+        # Heartbeats every 20ms, suspicion after 100ms of silence; the last
+        # heartbeat from node 2 lands around t=105 (sent at 100, 5ms one-way).
+        sim, nodes = build_detector_cluster()
+        sim.run(until=100.0)
+        nodes[2].crash()
+        sim.run(until=195.0)
+        assert not nodes[0].detector.is_suspected(2)
+
+    def test_suspicion_fires_after_silence_threshold(self):
+        sim, nodes = build_detector_cluster()
+        sim.run(until=100.0)
+        nodes[2].crash()
+        sim.run(until=260.0)
+        assert nodes[0].detector.is_suspected(2)
+        assert nodes[1].detector.is_suspected(2)
+
+    def test_heartbeat_resume_unsuspects(self):
+        detector_owner = build_detector_cluster()[1][0]
+        detector = detector_owner.detector
+        detector.suspected.add(2)
+        detector.observe_heartbeat(Heartbeat(sender=2, sequence=99))
+        assert not detector.is_suspected(2)
+
+    def test_crashed_node_emits_no_heartbeats(self):
+        sim, nodes = build_detector_cluster()
+        sim.run(until=100.0)
+        nodes[2].crash()
+        # Allow anything already in flight at the crash instant to land.
+        sim.run(until=120.0)
+        seen_before = sum(1 for sender, _ in nodes[0].heartbeats_seen if sender == 2)
+        sim.run(until=1000.0)
+        seen_after = sum(1 for sender, _ in nodes[0].heartbeats_seen if sender == 2)
+        assert seen_before > 0
+        assert seen_after == seen_before
+        # Live peers kept emitting throughout.
+        assert any(when > 900.0 for sender, when in nodes[0].heartbeats_seen
+                   if sender == 1)
+
+    def test_restarted_detector_recovers_full_cycle(self):
+        """Crash -> suspicion -> restart -> heartbeats resume -> unsuspected."""
+        sim, nodes = build_detector_cluster()
+        sim.run(until=100.0)
+        nodes[2].crash()
+        sim.run(until=400.0)
+        assert nodes[0].detector.is_suspected(2)
+        nodes[2].restart()
+        nodes[2].detector.start()
+        sim.run(until=800.0)
+        assert not nodes[0].detector.is_suspected(2)
+        assert not nodes[1].detector.is_suspected(2)

@@ -15,6 +15,7 @@ class RecordingNode:
     def __init__(self, node_id: int, crashed: bool = False) -> None:
         self.node_id = node_id
         self.crashed = crashed
+        self.last_crashed_at = -1.0
         self.received = []
 
     def receive(self, src: int, message: object) -> None:
