@@ -237,9 +237,14 @@ class EPaxosReplica(ProtocolKernel):
                              votes=QuorumTracker(self.fast_quorum, extra_votes=1),
                              started_at=self.sim.now)
         self._leader_states[instance_id] = state
-        self.broadcast(PreAccept(instance_id=instance_id, command=command, seq=seq,
-                                 deps=frozenset(deps), ballot=instance.ballot),
-                       include_self=False, size_bytes=64 + command.payload_size)
+        pre_accept = PreAccept(instance_id=instance_id, command=command, seq=seq,
+                               deps=frozenset(deps), ballot=instance.ballot)
+        self.broadcast(pre_accept, include_self=False,
+                       size_bytes=64 + command.payload_size)
+        self.track_retransmit(("lead", instance_id), pre_accept,
+                              size_bytes=64 + command.payload_size,
+                              tracker=state.votes,
+                              done=lambda s=state: s.phase == "done")
 
     # --------------------------------------------------------------- helpers
 
@@ -326,10 +331,16 @@ class EPaxosReplica(ProtocolKernel):
             instance.seq = merged_seq
             instance.deps = set(merged_deps)
             instance.status = InstanceStatus.ACCEPTED
-            self.broadcast(Accept(instance_id=state.instance_id, command=state.command,
-                                  seq=merged_seq, deps=frozenset(merged_deps),
-                                  ballot=state.ballot),
-                           include_self=False, size_bytes=64 + state.command.payload_size)
+            accept = Accept(instance_id=state.instance_id, command=state.command,
+                            seq=merged_seq, deps=frozenset(merged_deps),
+                            ballot=state.ballot)
+            self.broadcast(accept, include_self=False,
+                           size_bytes=64 + state.command.payload_size)
+            # Supersede the PreAccept round: resends now carry the Accept.
+            self.track_retransmit(("lead", state.instance_id), accept,
+                                  size_bytes=64 + state.command.payload_size,
+                                  tracker=state.votes,
+                                  done=lambda s=state: s.phase == "done")
 
     # phase 2 (slow path) -----------------------------------------------------
 
@@ -378,6 +389,7 @@ class EPaxosReplica(ProtocolKernel):
         instance.deps = set(deps)
         instance.status = InstanceStatus.COMMITTED
         self._unexecuted_committed.add(state.instance_id)
+        self.resolve_retransmit(("lead", state.instance_id))
         self.broadcast(Commit(instance_id=state.instance_id, command=state.command,
                               seq=seq, deps=frozenset(deps)),
                        include_self=False, size_bytes=64 + state.command.payload_size)
@@ -401,6 +413,8 @@ class EPaxosReplica(ProtocolKernel):
             instance.deps = set(message.deps)
             instance.status = InstanceStatus.COMMITTED
         self._unexecuted_committed.add(message.instance_id)
+        # A commit learned from elsewhere (recovery) supersedes a local round.
+        self.resolve_retransmit(("lead", message.instance_id))
         self._try_execute()
 
     def _try_execute(self) -> None:
@@ -430,6 +444,54 @@ class EPaxosReplica(ProtocolKernel):
                     if ready.command is not None:
                         self.execute_command(ready.command)
                 progress = True
+        self.note_progress_gap()
+
+    # catch-up ----------------------------------------------------------------
+
+    @staticmethod
+    def _instance_token(instance_id: InstanceId) -> str:
+        return f"{instance_id[0]}:{instance_id[1]}"
+
+    def catchup_need(self):
+        """Stuck when committed instances wait on non-committed dependencies."""
+        if not self._unexecuted_committed:
+            return None
+        want: Set[str] = set()
+        for instance_id in self._unexecuted_committed:
+            instance = self.instances.get(instance_id)
+            if instance is None:
+                continue
+            for dep in instance.deps:
+                if dep in self._executed:
+                    continue
+                known = self.instances.get(dep)
+                if known is None or known.status in (InstanceStatus.PRE_ACCEPTED,
+                                                     InstanceStatus.ACCEPTED):
+                    want.add(self._instance_token(dep))
+                    if len(want) >= 32:
+                        break
+            if len(want) >= 32:
+                break
+        if not want:
+            return None
+        return (0, tuple(sorted(want)))
+
+    def catchup_supply(self, cursor, want):
+        """Replay Commits for the requested instances this replica has decided."""
+        supplies = []
+        for token in want:
+            leader, _, num = token.partition(":")
+            try:
+                instance_id = (int(leader), int(num))
+            except ValueError:
+                continue
+            instance = self.instances.get(instance_id)
+            if instance is None or instance.status not in (InstanceStatus.COMMITTED,
+                                                           InstanceStatus.EXECUTED):
+                continue
+            supplies.append(Commit(instance_id=instance_id, command=instance.command,
+                                   seq=instance.seq, deps=frozenset(instance.deps)))
+        return supplies
 
     def _execution_order(self, root: InstanceId) -> Optional[List[InstanceId]]:
         """Iterative Tarjan SCC over the committed closure of ``root``.

@@ -237,6 +237,15 @@ class M2PaxosReplica(ProtocolKernel):
         self._backoff_queue: Dict[str, List[Command]] = {}
         #: per-key count of failed acquisition attempts (drives the backoff).
         self._acquire_attempts: Dict[str, int] = {}
+        #: ids of commands this replica has led itself; a duplicated forward
+        #: (chaos duplication fault, retransmitted ForwardCommand) must not
+        #: burn a second per-key position.
+        self._led_ids: Set[CommandId] = set()
+        #: highest decided index seen per key, and the keys whose execution
+        #: currently lags behind it — the catch-up trigger, maintained in
+        #: O(1) per decide so the probe never scans all keys.
+        self._max_decided: Dict[str, int] = {}
+        self._gap_keys: Set[str] = set()
 
     # ----------------------------------------------------------- client path
 
@@ -268,6 +277,9 @@ class M2PaxosReplica(ProtocolKernel):
             # made it through before the re-route arrived); leading it again
             # would only waste a slot.
             return
+        if command.command_id in self._led_ids:
+            return
+        self._led_ids.add(command.command_id)
         key = command.key
         index = self._next_index.get(key, 0)
         self._next_index[key] = index + 1
@@ -289,9 +301,14 @@ class M2PaxosReplica(ProtocolKernel):
         acked = self._acked_index.get(key)
         if acked is None or index > acked:
             self._acked_index[key] = index
-        self.broadcast(AcceptCommand(key=key, index=index, command=command,
-                                     owner=self.node_id, epoch=epoch),
-                       include_self=False, size_bytes=64 + command.payload_size)
+        accept = AcceptCommand(key=key, index=index, command=command,
+                               owner=self.node_id, epoch=epoch)
+        self.broadcast(accept, include_self=False,
+                       size_bytes=64 + command.payload_size)
+        self.track_retransmit(("accept", key, index), accept,
+                              size_bytes=64 + command.payload_size,
+                              tracker=pending.acks,
+                              done=lambda p=pending: p.decided)
 
     def _acquire_then_lead(self, command: Command) -> None:
         """No owner known: run an ownership-acquisition round, queueing the command."""
@@ -314,9 +331,12 @@ class M2PaxosReplica(ProtocolKernel):
             grants=QuorumTracker(self.quorums.classic, extra_votes=1),
             refusals=QuorumTracker(self.quorums.n - self.quorums.classic + 1))
         self._pending_acquires[key] = pending
-        self.broadcast(AcquireOwnership(key=key, epoch=epoch, requester=self.node_id,
-                                        next_execute=self._next_execute.get(key, 0)),
-                       include_self=False)
+        acquire = AcquireOwnership(key=key, epoch=epoch, requester=self.node_id,
+                                   next_execute=self._next_execute.get(key, 0))
+        self.broadcast(acquire, include_self=False)
+        self.track_retransmit(
+            ("acquire", key), acquire, done=lambda p=pending: p.done,
+            voters=lambda p=pending: p.grants.voters() + p.refusals.voters())
 
     # ownership ---------------------------------------------------------------
 
@@ -331,7 +351,13 @@ class M2PaxosReplica(ProtocolKernel):
         """
         key = message.key
         current_epoch = self.epochs.get(key, 0)
-        if message.epoch > current_epoch:
+        if message.epoch > current_epoch or (
+                message.epoch == current_epoch
+                and self.owners.get(key) == message.requester):
+            # Same-epoch requests are re-granted only to the exact requester
+            # previously granted (a retransmitted AcquireOwnership whose
+            # reply was lost); two same-epoch contenders still cannot both
+            # collect a grant quorum.
             self.epochs[key] = message.epoch
             self.owners[key] = message.requester
             accepted_bucket = self._accepted.get(key) or {}
@@ -558,6 +584,7 @@ class M2PaxosReplica(ProtocolKernel):
         if pending is None or pending.decided or pending.epoch != message.epoch:
             return
         del self._pending_accepts[(message.key, message.index)]
+        self.resolve_retransmit(("accept", message.key, message.index))
         self.stats.accepts_preempted += 1
         key = message.key
         if message.current_epoch > self.epochs.get(key, 0):
@@ -583,6 +610,9 @@ class M2PaxosReplica(ProtocolKernel):
         if self.owners.get(key) == self.node_id and index not in (self._decided.get(key) or {}):
             self._lead_at(key, index, command)
         else:
+            # The command gets a genuinely new round; forget the old lead so
+            # the duplicate guard does not swallow the re-proposal.
+            self._led_ids.discard(command.command_id)
             self.propose(command)
 
     @handles(AcceptCommandReply)
@@ -598,12 +628,14 @@ class M2PaxosReplica(ProtocolKernel):
             return
         if pending.epoch < self.epochs.get(message.key, 0):
             del self._pending_accepts[(message.key, message.index)]
+            self.resolve_retransmit(("accept", message.key, message.index))
             self.stats.accepts_preempted += 1
             self._reroute_preempted(message.key, message.index, pending.command)
             return
         if not pending.acks.vote(src):
             return
         pending.decided = True
+        self.resolve_retransmit(("accept", message.key, message.index))
         self.record_decided(pending.command.command_id, DecisionKind.FAST)
         self.broadcast(DecideCommand(key=pending.key, index=pending.index,
                                      command=pending.command, owner=self.node_id,
@@ -632,6 +664,8 @@ class M2PaxosReplica(ProtocolKernel):
             accepted_bucket.pop(message.index, None)
         if message.index >= self._next_index.get(message.key, 0):
             self._next_index[message.key] = message.index + 1
+        if message.index > self._max_decided.get(message.key, -1):
+            self._max_decided[message.key] = message.index
         self._execute_ready(message.key)
 
     def _execute_ready(self, key: str) -> None:
@@ -647,3 +681,57 @@ class M2PaxosReplica(ProtocolKernel):
                 self.execute_command(command)
             index += 1
         self._next_execute[key] = index
+        if index <= self._max_decided.get(key, -1):
+            self._gap_keys.add(key)
+            self.note_progress_gap()
+        else:
+            self._gap_keys.discard(key)
+
+    # catch-up ----------------------------------------------------------------
+
+    def catchup_need(self):
+        """Stuck when a key's execution lags behind its highest decided index."""
+        if not self._gap_keys:
+            return None
+        tokens = []
+        for key in sorted(self._gap_keys):
+            next_execute = self._next_execute.get(key, 0)
+            if next_execute > self._max_decided.get(key, -1):
+                self._gap_keys.discard(key)
+                continue
+            tokens.append(f"{key}:{next_execute}")
+            if len(tokens) >= 32:
+                break
+        if not tokens:
+            return None
+        return (0, tuple(tokens))
+
+    def catchup_supply(self, cursor, want):
+        """Replay decides at/after the requested per-key watermarks."""
+        supplies = []
+        for token in want:
+            key, _, raw = token.rpartition(":")
+            try:
+                start = int(raw)
+            except ValueError:
+                continue
+            bucket = self._decided.get(key)
+            if not bucket:
+                continue
+            owner = self.owners.get(key)
+            epoch = self.epochs.get(key, 0)
+            if owner is None:
+                # Ownership unknown here; a wrong owner hint self-heals via
+                # the forward/hops machinery, the decided log is what counts.
+                owner, epoch = self.node_id, 0
+            replayed = 0
+            for index in sorted(bucket):
+                if index < start:
+                    continue
+                supplies.append(DecideCommand(key=key, index=index,
+                                              command=bucket[index],
+                                              owner=owner, epoch=epoch))
+                replayed += 1
+                if replayed >= 16:
+                    break
+        return supplies

@@ -94,6 +94,9 @@ class MenciusReplica(ProtocolKernel):
         #: slots other owners announced they will never use.
         self._skipped_by_others: Set[int] = set()
         self._next_execute = 0
+        #: highest slot this replica has seen mentioned anywhere; execution
+        #: lagging behind it is the catch-up trigger.
+        self._max_seen_slot = -1
 
     # ----------------------------------------------------------- client path
 
@@ -104,8 +107,13 @@ class MenciusReplica(ProtocolKernel):
         self._pending[slot] = command
         self._acks[slot] = QuorumTracker(self.n, extra_votes=1)
         self._used_own_slots.add(slot)
-        self.broadcast(SlotPropose(slot=slot, command=command), include_self=False,
+        self._max_seen_slot = max(self._max_seen_slot, slot)
+        proposal = SlotPropose(slot=slot, command=command)
+        self.broadcast(proposal, include_self=False,
                        size_bytes=64 + command.payload_size)
+        self.track_retransmit(("slot", slot), proposal,
+                              size_bytes=64 + command.payload_size,
+                              tracker=self._acks[slot])
 
     def _allocate_slot(self) -> int:
         """Next slot owned by this replica, at or after its allocation cursor."""
@@ -123,6 +131,7 @@ class MenciusReplica(ProtocolKernel):
         use an owned slot below ``s`` (it would delay delivery of ``s``), so it
         marks those slots as skipped and announces them to everyone.
         """
+        self._max_seen_slot = max(self._max_seen_slot, message.slot)
         newly_skipped: Set[int] = set()
         while self._next_own_slot < message.slot:
             skipped = self._allocate_slot()
@@ -145,6 +154,7 @@ class MenciusReplica(ProtocolKernel):
             return
         command = self._pending.pop(message.slot)
         del self._acks[message.slot]
+        self.resolve_retransmit(("slot", message.slot))
         self.stats.slots_committed += 1
         self.record_decided(command.command_id, DecisionKind.SLOW)
         self.broadcast(SlotCommit(slot=message.slot, command=command),
@@ -154,12 +164,15 @@ class MenciusReplica(ProtocolKernel):
     def _on_commit(self, src: int, message: SlotCommit) -> None:
         """Every replica: record the decided slot and execute the log in order."""
         self.committed[message.slot] = message.command
+        self._max_seen_slot = max(self._max_seen_slot, message.slot)
         self._execute_ready()
 
     @handles(SkipAnnounce)
     def _on_skip(self, src: int, message: SkipAnnounce) -> None:
         """Record slots another owner will never use."""
         self._skipped_by_others |= set(message.slots)
+        if message.slots:
+            self._max_seen_slot = max(self._max_seen_slot, max(message.slots))
         self._execute_ready()
 
     def _slot_resolved(self, slot: int) -> bool:
@@ -189,3 +202,24 @@ class MenciusReplica(ProtocolKernel):
                 self._next_execute += 1
                 continue
             break
+        self.note_progress_gap()
+
+    # --------------------------------------------------------------- catch-up
+
+    def catchup_need(self):
+        """Stuck when slots at/after the execution cursor were seen elsewhere."""
+        if self._max_seen_slot >= self._next_execute:
+            return (self._next_execute, ())
+        return None
+
+    def catchup_supply(self, cursor, want):
+        """Replay commits at/after the cursor, plus the skips resolving gaps."""
+        supplies = [SlotCommit(slot=slot, command=self.committed[slot])
+                    for slot in sorted(self.committed)
+                    if slot >= cursor and self.committed[slot] is not None]
+        horizon = min(self._max_seen_slot + 1, cursor + 1024)
+        skipped = frozenset(slot for slot in range(cursor, horizon)
+                            if slot not in self.committed and self._slot_resolved(slot))
+        if skipped:
+            supplies.append(SkipAnnounce(sender=self.node_id, slots=skipped))
+        return supplies

@@ -127,6 +127,13 @@ class MultiPaxosReplica(ProtocolKernel):
         self._slot_states: Dict[int, _SlotState] = {}
         self._next_slot = 0
         self._next_execute = 0
+        #: commands already assigned a slot here; a duplicated forward (chaos
+        #: duplication fault, retransmitted ClientForward) must not burn a
+        #: second slot.
+        self._led_ids = set()
+        #: highest slot known committed anywhere; execution lagging behind it
+        #: is the catch-up trigger.
+        self._max_committed = -1
         self.recovery_enabled = recovery_enabled
         self._election_votes: Optional[QuorumTracker] = None
         self._electing = False
@@ -152,6 +159,9 @@ class MultiPaxosReplica(ProtocolKernel):
 
     def _lead(self, command: Command) -> None:
         """Assign the next log slot and run the accept round."""
+        if command.command_id in self._led_ids:
+            return
+        self._led_ids.add(command.command_id)
         slot = self._next_slot
         self._next_slot += 1
         self.stats.slots_proposed += 1
@@ -159,8 +169,11 @@ class MultiPaxosReplica(ProtocolKernel):
                            votes=QuorumTracker(self.quorums.classic, extra_votes=1))
         self._slot_states[slot] = state
         self.log[slot] = command
-        self.broadcast(AcceptSlot(slot=slot, command=command, ballot=self.ballot),
-                       include_self=False, size_bytes=64 + command.payload_size)
+        accept = AcceptSlot(slot=slot, command=command, ballot=self.ballot)
+        self.broadcast(accept, include_self=False, size_bytes=64 + command.payload_size)
+        self.track_retransmit(("slot", slot), accept,
+                              size_bytes=64 + command.payload_size,
+                              tracker=state.votes, done=lambda s=state: s.committed)
 
     # ------------------------------------------------------ message handling
 
@@ -192,6 +205,7 @@ class MultiPaxosReplica(ProtocolKernel):
         if not state.votes.vote(src):
             return
         state.committed = True
+        self.resolve_retransmit(("slot", state.slot))
         self.stats.slots_committed += 1
         self.record_decided(state.command.command_id, DecisionKind.SLOW)
         self.broadcast(CommitSlot(slot=state.slot, command=state.command),
@@ -202,7 +216,9 @@ class MultiPaxosReplica(ProtocolKernel):
         """Every replica: record the chosen value and execute the log in order."""
         self.committed[message.slot] = message.command
         self.log[message.slot] = message.command
+        self._max_committed = max(self._max_committed, message.slot)
         self._execute_ready()
+        self.note_progress_gap()
 
     def _execute_ready(self) -> None:
         """Execute committed slots contiguously from the execution frontier."""
@@ -211,6 +227,19 @@ class MultiPaxosReplica(ProtocolKernel):
             if not self.has_executed(command.command_id):
                 self.execute_command(command)
             self._next_execute += 1
+
+    # --------------------------------------------------------------- catch-up
+
+    def catchup_need(self):
+        """Stuck when a slot at/after the execution cursor committed elsewhere."""
+        if self._max_committed >= self._next_execute:
+            return (self._next_execute, ())
+        return None
+
+    def catchup_supply(self, cursor, want):
+        """Replay every locally known commit at or after the cursor."""
+        return [CommitSlot(slot=slot, command=self.committed[slot])
+                for slot in sorted(self.committed) if slot >= cursor]
 
     # --------------------------------------------------------------- election
 
@@ -270,5 +299,7 @@ class MultiPaxosReplica(ProtocolKernel):
                                    votes=QuorumTracker(self.quorums.classic, extra_votes=1))
                 self._slot_states[slot] = state
                 self.log[slot] = command
-                self.broadcast(AcceptSlot(slot=slot, command=command, ballot=self.ballot),
-                               include_self=False)
+                accept = AcceptSlot(slot=slot, command=command, ballot=self.ballot)
+                self.broadcast(accept, include_self=False)
+                self.track_retransmit(("slot", slot), accept, tracker=state.votes,
+                                      done=lambda s=state: s.committed)

@@ -18,9 +18,10 @@ Fault primitives and their liveness footprint:
 * ``PartitionFault`` / ``AsymmetricPartitionFault`` in ``"queue"`` mode hold
   messages and release them on heal (a stalled TCP connection); every
   protocol in the repository tolerates them.  ``"drop"`` mode loses the
-  messages instead — none of the baselines retransmit, so drop-mode
-  partitions generally cost liveness for in-flight commands.
-* ``LossFault`` drops messages probabilistically — same caveat.
+  messages instead; the runtime retransmission + catch-up layer
+  (:mod:`repro.runtime.kernel`) recovers the lost quorum traffic after the
+  heal, so drop-mode faults cost latency, not liveness.
+* ``LossFault`` drops messages probabilistically — recovered the same way.
 * ``DuplicationFault``, ``DelaySpikeFault``, ``ClockSkewFault`` are
   loss-free: safe for every protocol.
 * ``CrashFault`` reuses the :class:`~repro.sim.failures.CrashInjector`
@@ -297,9 +298,10 @@ class Nemesis:
 #
 # Every builder has the signature ``(n, at_ms, hold_ms) -> NemesisPlan``:
 # the fault begins at ``at_ms`` and the fabric is fully healed by
-# ``at_ms + hold_ms``.  All library schedules except ``flaky-links`` and
-# ``crash-restart`` are loss-free, so every protocol can (and must) survive
-# them — that is the conformance matrix.
+# ``at_ms + hold_ms``.  ``flaky-links`` and ``crash-restart`` lose messages;
+# the runtime retransmission + catch-up layer recovers them after the heal,
+# so every protocol can (and must) survive the whole library — that is the
+# conformance matrix.
 
 
 def _minority_partition(n: int, at_ms: float, hold_ms: float) -> NemesisPlan:
@@ -390,7 +392,9 @@ NEMESIS_SCHEDULES: Dict[str, Callable[[int, float, float], NemesisPlan]] = {
     "flaky-links": _flaky_links,
 }
 
-#: The loss-free subset every protocol must survive (the conformance matrix).
+#: The schedules every protocol must survive (the conformance matrix).  The
+#: lossy pair (``crash-restart``, ``flaky-links``) is included: the runtime
+#: retransmission + catch-up layer makes them recoverable.
 CONFORMANCE_SCHEDULES: Tuple[str, ...] = (
     "minority-partition",
     "asymmetric-partition",
@@ -399,6 +403,8 @@ CONFORMANCE_SCHEDULES: Tuple[str, ...] = (
     "delay-storm",
     "slow-node",
     "clock-skew",
+    "crash-restart",
+    "flaky-links",
 )
 
 
@@ -419,7 +425,8 @@ def random_plan(rng: DeterministicRandom, n: int, at_ms: float, hold_ms: float,
     Each fault occupies a random sub-window of ``[at_ms, at_ms + hold_ms]``;
     the plan is fully healed by the end of the window.  With
     ``include_lossy`` the generator may also draw message loss and
-    crash/restart faults (expect baseline protocols to lose liveness).
+    crash/restart faults (recovered after the heal by the runtime
+    retransmission + catch-up layer).
 
     Fork ``rng`` per campaign cell (e.g. ``root.fork_cell(("chaos", seed,
     i))``) so every generated plan replays from its coordinates.

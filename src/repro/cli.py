@@ -158,14 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: 2000, or 1000 with --quick)")
     chaos_parser.add_argument("--recovery", action="store_true",
                               help="run failure detectors / recovery machinery")
+    chaos_parser.add_argument("--no-retransmit", action="store_true",
+                              help="disable the runtime retransmission + catch-up layer "
+                                   "(reproduces the pre-retransmission safe-but-not-live "
+                                   "split under lossy schedules)")
     chaos_parser.add_argument("--matrix", action="store_true",
                               help="run the protocols x schedules conformance matrix "
                                    "(exit code 1 when any cell fails)")
     chaos_parser.add_argument("--protocols", nargs="+", default=None, metavar="PROTO",
                               help="protocols for --matrix (default: all five)")
     chaos_parser.add_argument("--schedules", nargs="+", default=None, metavar="NAME",
-                              help="schedules for --matrix (default: the loss-free "
-                                   "conformance library)")
+                              help="schedules for --matrix (default: the full "
+                                   "conformance library, lossy schedules included)")
     chaos_parser.add_argument("--random", type=int, default=None, metavar="N",
                               help="run N generated random schedules instead of a "
                                    "named one")
@@ -335,7 +339,8 @@ def _chaos_config_kwargs(args: argparse.Namespace) -> dict:
     hold = args.hold if args.hold is not None else (1000.0 if args.quick else 2000.0)
     kwargs = dict(seed=args.seed, clients_per_site=args.clients,
                   conflict_rate=args.conflicts / 100.0, fault_at_ms=fault_at,
-                  fault_hold_ms=hold, recovery=args.recovery)
+                  fault_hold_ms=hold, recovery=args.recovery,
+                  retransmit_enabled=not args.no_retransmit)
     if args.quick:
         kwargs["settle_ms"] = 800.0
     return kwargs
@@ -375,7 +380,7 @@ def _chaos(args: argparse.Namespace) -> tuple:
     if args.list_schedules:
         from repro.chaos.nemesis import CONFORMANCE_SCHEDULES
 
-        lines = ["named nemesis schedules ('*' = in the loss-free conformance set):"]
+        lines = ["named nemesis schedules ('*' = in the conformance set):"]
         for name, builder in sorted(NEMESIS_SCHEDULES.items()):
             marker = "*" if name in CONFORMANCE_SCHEDULES else " "
             lines.append(f"  {marker} {name:22s} {(builder.__doc__ or '').strip()}")

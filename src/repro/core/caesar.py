@@ -143,9 +143,13 @@ class CaesarReplica(ProtocolKernel):
         self.leader_states[command.command_id] = state
         state.timer = self.set_timer(self.config.fast_proposal_timeout_ms,
                                      lambda: self._on_fast_proposal_timeout(command.command_id))
-        self.broadcast(FastPropose(command=command, ballot=ballot, timestamp=timestamp,
-                                   whitelist=whitelist),
-                       size_bytes=64 + command.payload_size)
+        proposal = FastPropose(command=command, ballot=ballot, timestamp=timestamp,
+                               whitelist=whitelist)
+        self.broadcast(proposal, size_bytes=64 + command.payload_size)
+        self.track_retransmit(("lead", command.command_id), proposal,
+                              size_bytes=64 + command.payload_size,
+                              tracker=state.votes,
+                              done=lambda s=state: s.phase == PHASE_DONE)
 
     def _start_slow_proposal(self, state: LeaderState) -> None:
         """SLOWPROPOSALPHASE (Figure 4, lines P21-P30), after a fast-quorum timeout."""
@@ -154,10 +158,14 @@ class CaesarReplica(ProtocolKernel):
         state.votes = QuorumTracker(self.quorums.classic)
         state.phase_started_at = self.sim.now
         state.went_slow = True
-        self.broadcast(SlowPropose(command=state.command, ballot=state.ballot,
-                                   timestamp=state.timestamp,
-                                   predecessors=_freeze(state.predecessors)),
-                       size_bytes=64 + state.command.payload_size)
+        proposal = SlowPropose(command=state.command, ballot=state.ballot,
+                               timestamp=state.timestamp,
+                               predecessors=_freeze(state.predecessors))
+        self.broadcast(proposal, size_bytes=64 + state.command.payload_size)
+        self.track_retransmit(("lead", state.command.command_id), proposal,
+                              size_bytes=64 + state.command.payload_size,
+                              tracker=state.votes,
+                              done=lambda s=state: s.phase == PHASE_DONE)
 
     def _start_retry(self, state: LeaderState) -> None:
         """RETRYPHASE (Figure 4, lines R1-R4)."""
@@ -168,10 +176,14 @@ class CaesarReplica(ProtocolKernel):
         command_id = state.command.command_id
         self.record_phase_time(command_id, "propose", self.sim.now - state.phase_started_at)
         state.phase_started_at = self.sim.now
-        self.broadcast(Retry(command=state.command, ballot=state.ballot,
-                             timestamp=state.timestamp,
-                             predecessors=_freeze(state.predecessors)),
-                       size_bytes=64 + state.command.payload_size)
+        retry = Retry(command=state.command, ballot=state.ballot,
+                      timestamp=state.timestamp,
+                      predecessors=_freeze(state.predecessors))
+        self.broadcast(retry, size_bytes=64 + state.command.payload_size)
+        self.track_retransmit(("lead", command_id), retry,
+                              size_bytes=64 + state.command.payload_size,
+                              tracker=state.votes,
+                              done=lambda s=state: s.phase == PHASE_DONE)
 
     def _start_stable(self, state: LeaderState) -> None:
         """STABLEPHASE (Figure 4, lines S1): broadcast the final decision."""
@@ -183,6 +195,7 @@ class CaesarReplica(ProtocolKernel):
         if state.timer is not None:
             state.timer.cancel()
         state.phase = PHASE_DONE
+        self.resolve_retransmit(("lead", command_id))
         if state.recovered:
             kind = DecisionKind.RECOVERED
         elif state.went_slow:
@@ -243,6 +256,11 @@ class CaesarReplica(ProtocolKernel):
         if existing is not None and existing.status is CommandStatus.STABLE:
             # Already decided (e.g. a recovery finished first); nothing to do.
             return
+        if (existing is not None and existing.status is CommandStatus.ACCEPTED
+                and not message.ballot > existing.ballot):
+            # A retransmitted proposal at the same ballot must not downgrade
+            # the entry a later retry already promoted to ACCEPTED.
+            return
         self.ballots[command_id] = message.ballot
         self.timestamps.observe(message.timestamp)
         predecessors = compute_predecessors(self.history, command, message.timestamp,
@@ -268,6 +286,10 @@ class CaesarReplica(ProtocolKernel):
             return
         existing = self.history.get(command_id)
         if existing is not None and existing.status is CommandStatus.STABLE:
+            return
+        if (existing is not None and existing.status is CommandStatus.ACCEPTED
+                and not message.ballot > existing.ballot):
+            # See _on_fast_propose: never downgrade ACCEPTED on a resend.
             return
         self.ballots[command_id] = message.ballot
         self.timestamps.observe(message.timestamp)
@@ -406,6 +428,36 @@ class CaesarReplica(ProtocolKernel):
         self.wait_manager.notify_change(command.key)
         self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
         self.delivery.on_stable(command)
+        self.note_progress_gap()
+
+    # --------------------------------------------------------------- catch-up
+
+    def catchup_need(self):
+        """Stuck when pending stable commands wait on unknown predecessors."""
+        if self.delivery.pending_count() == 0:
+            return None
+        missing = self.delivery.missing_predecessors()
+        if not missing:
+            return None
+        tokens = tuple(f"{a}:{b}" for a, b in sorted(missing)[:32])
+        return (0, tokens)
+
+    def catchup_supply(self, cursor, want):
+        """Replay Stable messages for the requested commands known stable here."""
+        supplies = []
+        for token in want:
+            first, _, second = token.partition(":")
+            try:
+                command_id = (int(first), int(second))
+            except ValueError:
+                continue
+            entry = self.history.get(command_id)
+            if entry is None or entry.status is not CommandStatus.STABLE:
+                continue
+            supplies.append(Stable(command=entry.command, ballot=entry.ballot,
+                                   timestamp=entry.timestamp,
+                                   predecessors=_freeze(entry.predecessors)))
+        return supplies
 
     # ------------------------------------------------------------- recovery
 

@@ -48,6 +48,27 @@ class DeliveryManager:
         """Stable commands still waiting for their predecessors."""
         return len(self._pending)
 
+    def missing_predecessors(self) -> Set[CommandId]:
+        """Predecessors blocking pending commands that are not stable locally.
+
+        These are the commands whose STABLE message this replica has not seen
+        (lost, or decided while it was crashed/partitioned) — exactly what a
+        catch-up request should ask peers for.  Predecessors that are stable
+        locally but undelivered are excluded: delivery will reach them.
+        """
+        missing: Set[CommandId] = set()
+        for command_id in self._pending:
+            entry = self._history.get(command_id)
+            if entry is None:
+                continue
+            for pred in entry.predecessors:
+                if pred in self._delivered:
+                    continue
+                pred_entry = self._history.get(pred)
+                if pred_entry is None or pred_entry.status is not CommandStatus.STABLE:
+                    missing.add(pred)
+        return missing
+
     # --------------------------------------------------------------- helpers
 
     def _break_loop(self, command_id: CommandId) -> None:

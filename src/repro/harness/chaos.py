@@ -72,6 +72,9 @@ class ChaosConfig:
         probe_deadline_ms: virtual-time budget for every probe to complete.
         recovery: run failure detectors / recovery machinery where the
             protocol supports it.
+        retransmit_enabled: run the runtime retransmission + catch-up layer
+            (default); disable to reproduce the pre-retransmission
+            safe-but-not-live behaviour under lossy schedules.
         topology: latency topology (defaults to the paper's five EC2 sites).
         network: network configuration (mild jitter by default, like the
             figure experiments).
@@ -92,6 +95,7 @@ class ChaosConfig:
     probe_commands_per_site: int = 2
     probe_deadline_ms: float = 60000.0
     recovery: bool = False
+    retransmit_enabled: bool = True
     topology: Optional[Topology] = None
     network: NetworkConfig = field(default_factory=lambda: NetworkConfig(jitter_ms=2.0))
     workload: Optional[WorkloadConfig] = None
@@ -145,7 +149,8 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     """Run one protocol under one nemesis schedule and judge the outcome."""
     cluster_config = ClusterConfig(
         protocol=config.protocol, topology=config.topology, seed=config.seed,
-        network=config.network, protocol_options=_chaos_protocol_options(config))
+        network=config.network, retransmit=config.retransmit_enabled,
+        protocol_options=_chaos_protocol_options(config))
     cluster = build_cluster(cluster_config)
     sim = cluster.sim
     tape = HistoryTape(sim)
@@ -280,5 +285,5 @@ def format_matrix(results: Sequence[ChaosResult]) -> str:
 
 
 def default_conformance_schedules() -> List[str]:
-    """The loss-free named schedules every protocol is expected to pass."""
+    """The named schedules every protocol is expected to pass (lossy included)."""
     return list(CONFORMANCE_SCHEDULES)

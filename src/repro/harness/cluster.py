@@ -37,6 +37,9 @@ class ClusterConfig:
         cost_model: per-message CPU cost model.
         batching: when set, every replica batches its outgoing messages with
             this policy (the paper's "batching enabled" configuration).
+        retransmit: when ``False``, disable the runtime retransmission and
+            catch-up layer on every replica (reproduces the pre-retransmission
+            safe-but-not-live behaviour under lossy schedules).
         protocol_options: protocol-specific keyword arguments forwarded to the
             replica constructor (e.g. ``{"config": CaesarConfig(...)}`` or
             ``{"leader_id": 3}`` for Multi-Paxos).
@@ -48,6 +51,7 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cost_model: Optional[CostModel] = None
     batching: Optional[BatchingConfig] = None
+    retransmit: bool = True
     protocol_options: Dict[str, object] = field(default_factory=dict)
 
 
@@ -198,5 +202,10 @@ def build_cluster(config: Optional[ClusterConfig] = None) -> Cluster:
     if config.batching is not None:
         for replica in replicas:
             replica.enable_batching(config.batching)
+    if not config.retransmit:
+        for replica in replicas:
+            configure = getattr(replica, "configure_retransmit", None)
+            if callable(configure):
+                configure(enabled=False)
     cluster = Cluster(config, sim, network, topology, replicas)
     return cluster

@@ -50,6 +50,8 @@ class ExperimentConfig:
         batching: when set, replicas batch outgoing messages with this policy
             (the paper's "batching enabled" runs in Figure 9).
         recovery: whether failure detectors / recovery machinery run.
+        retransmit: run the runtime retransmission + catch-up layer (default);
+            disabling it reproduces the pre-retransmission behaviour.
         protocol_options: extra keyword arguments for the replica constructor.
         workload: key-pool configuration (defaults mirror the paper).
         drain_ms: extra virtual time after the measurement window to let
@@ -69,6 +71,7 @@ class ExperimentConfig:
     cost_model: Optional[CostModel] = None
     batching: Optional[BatchingConfig] = None
     recovery: bool = False
+    retransmit: bool = True
     protocol_options: Dict[str, object] = field(default_factory=dict)
     workload: Optional[WorkloadConfig] = None
     drain_ms: float = 2000.0
@@ -121,6 +124,7 @@ def build_experiment_cluster(config: ExperimentConfig) -> Cluster:
     cluster_config = ClusterConfig(protocol=config.protocol, topology=config.topology,
                                    seed=config.seed, network=config.network,
                                    cost_model=config.cost_model, batching=config.batching,
+                                   retransmit=config.retransmit,
                                    protocol_options=_protocol_options(config))
     return build_cluster(cluster_config)
 

@@ -18,7 +18,25 @@ hand-roll independently:
 * **ballot registers** (:class:`BallotRegister`) — highest-joined-ballot
   bookkeeping per command;
 * **unified statistics** — every replica carries one
-  :class:`~repro.runtime.stats.ProtocolStats` record.
+  :class:`~repro.runtime.stats.ProtocolStats` record;
+* **retransmission** (:class:`RetransmitBuffer`) — quorum-pending broadcasts
+  are re-sent to non-voters on a capped-exponential-backoff timer until the
+  quorum is reached or the round is superseded, so probabilistic message
+  loss costs latency instead of liveness;
+* **catch-up** (:class:`CatchUpRequest` / :class:`CatchUpReply`) — a replica
+  whose execution has a persistent gap (restarted, or partitioned while
+  decisions happened elsewhere) asks its peers to replay the decided
+  messages it is missing; protocols describe the gap via
+  :meth:`ProtocolKernel.catchup_need` and answer via
+  :meth:`ProtocolKernel.catchup_supply`.
+
+Both layers are **byte-neutral on loss-free runs**: the retransmission scan
+defers while a quorum is still gathering votes (and while the CPU is
+backlogged), and the catch-up probe only fires when execution has been
+*stuck on the same gap* for a full check interval — neither happens when
+every message arrives.  The jittered backoff draws from a dedicated RNG
+fork only when a resend actually happens, so clean runs consume no extra
+randomness.
 
 Protocol subclasses implement only their actual protocol logic: the
 ``propose`` entry point and one ``@handles``-marked method per message type.
@@ -26,16 +44,20 @@ Protocol subclasses implement only their actual protocol logic: the
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.interface import ConsensusReplica
 from repro.consensus.quorums import QuorumSystem
 from repro.kvstore.state_machine import StateMachine
+from repro.runtime.codec import STRING, UINT, SeqCodec
+from repro.runtime.registry import MessageCodec, register_message
 from repro.runtime.stats import ProtocolStats
 from repro.sim.costs import CostModel
 from repro.sim.failures import FailureDetector, Heartbeat
 from repro.sim.network import Network
+from repro.sim.node import Timer
 from repro.sim.simulator import Simulator
 
 #: Function attribute carrying the message classes a method handles.
@@ -131,6 +153,241 @@ class BallotRegister(dict):
             self[key] = ballot
 
 
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Tuning knobs for the kernel's retransmission and catch-up layer.
+
+    The defaults are deliberately conservative relative to clean-run quorum
+    latencies (a wide-area quorum gathers in ~300 ms): the first resend only
+    happens after ``initial_timeout_ms`` with *no* new votes, so loss-free
+    runs never retransmit and their metric series stay byte-identical.
+
+    Attributes:
+        enabled: master switch; disabling restores the PR-5 behaviour
+            (safe-but-not-live under message loss).
+        scan_every_ms: how often the buffer looks for overdue rounds (armed
+            lazily — no pending rounds, no timer).
+        initial_timeout_ms: quiet time before the first resend of a round.
+        backoff_factor: per-attempt timeout multiplier (capped below).
+        max_timeout_ms: backoff ceiling.
+        jitter_ms: uniform jitter added to each backoff deadline, drawn from
+            a dedicated RNG fork only when a resend actually happened.
+        max_attempts: resend budget per round before the buffer gives up
+            (recovery / catch-up then owns the round's fate).
+        backlog_defer_ms: if the node's CPU backlog exceeds this, the scan
+            (and the catch-up probe) defers wholesale — votes are queued,
+            not lost.
+        catchup_check_ms: quiet time before a noted execution gap triggers a
+            :class:`CatchUpRequest` (also the re-check interval).
+        catchup_backoff_factor: per-attempt catch-up interval multiplier.
+        catchup_max_interval_ms: catch-up backoff ceiling.
+        catchup_max_attempts: catch-up probes per unchanged gap signature.
+        catchup_reply_limit: max replayed messages per reply.
+    """
+
+    enabled: bool = True
+    scan_every_ms: float = 250.0
+    initial_timeout_ms: float = 1500.0
+    backoff_factor: float = 2.0
+    max_timeout_ms: float = 6000.0
+    jitter_ms: float = 50.0
+    max_attempts: int = 12
+    backlog_defer_ms: float = 200.0
+    catchup_check_ms: float = 600.0
+    catchup_backoff_factor: float = 2.0
+    catchup_max_interval_ms: float = 4800.0
+    catchup_max_attempts: int = 10
+    catchup_reply_limit: int = 128
+
+
+@register_message(sender=UINT, cursor=UINT, want=SeqCodec(STRING))
+@dataclass(frozen=True, slots=True)
+class CatchUpRequest:
+    """Ask peers to replay decided state this replica is missing.
+
+    ``cursor`` is a protocol-defined low-water mark (e.g. the next
+    unexecuted slot); ``want`` is an optional list of protocol-defined
+    tokens naming specific missing items (e.g. EPaxos instance ids).
+    """
+
+    sender: int
+    cursor: int
+    want: Tuple[str, ...] = ()
+
+
+@register_message(sender=UINT, messages=SeqCodec(MessageCodec()))
+@dataclass(frozen=True, slots=True)
+class CatchUpReply:
+    """Replayed decided messages; each is re-dispatched through the normal
+    handler path at the receiver (decided-message handlers are idempotent)."""
+
+    sender: int
+    messages: Tuple = ()
+
+
+class _RetransmitEntry:
+    """One quorum-pending broadcast round tracked by the buffer."""
+
+    __slots__ = ("message", "size_bytes", "tracker", "done", "voters",
+                 "deadline", "timeout", "attempts", "last_count")
+
+    def __init__(self, message: object, size_bytes: int,
+                 tracker: Optional[QuorumTracker],
+                 done: Optional[Callable[[], bool]],
+                 voters: Optional[Callable[[], List[int]]],
+                 now: float, timeout: float) -> None:
+        self.message = message
+        self.size_bytes = size_bytes
+        self.tracker = tracker
+        self.done = done
+        self.voters = voters
+        self.timeout = timeout
+        self.deadline = now + timeout
+        self.attempts = 0
+        self.last_count = tracker.count if tracker is not None else 0
+
+
+class RetransmitBuffer:
+    """Re-sends quorum-pending broadcasts until acked or superseded.
+
+    A protocol :meth:`track`\\ s a round when it broadcasts a message that
+    gathers votes in a :class:`QuorumTracker`; the buffer periodically scans
+    for rounds that have been quiet past their deadline and re-sends the
+    message to every peer that has not voted yet, with capped exponential
+    backoff.  Rounds resolve themselves (tracker quorate / ``done``
+    predicate) or are resolved explicitly when superseded.
+
+    The scan timer is armed lazily — an empty buffer schedules nothing, so
+    a finished run drains and the simulator's event queue empties.
+    """
+
+    def __init__(self, kernel: "ProtocolKernel", policy: RetransmitPolicy) -> None:
+        self.kernel = kernel
+        self.policy = policy
+        self._entries: Dict[object, _RetransmitEntry] = {}
+        self._timer: Optional[Timer] = None
+        #: jitter stream, forked per node; drawn from only on actual resends
+        #: so loss-free runs consume no randomness from it.
+        self._jitter = kernel.sim.rng.fork(f"retransmit-{kernel.node_id}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def track(self, key: object, message: object, *, size_bytes: int = 64,
+              tracker: Optional[QuorumTracker] = None,
+              done: Optional[Callable[[], bool]] = None,
+              voters: Optional[Callable[[], List[int]]] = None) -> None:
+        """Start (or supersede) the pending round ``key``.
+
+        Args:
+            key: protocol-chosen identity of the round; re-tracking the same
+                key replaces the previous message (slow path supersedes fast
+                path).
+            message: the broadcast to re-send while the round is pending.
+            size_bytes: wire size charged per resend.
+            tracker: the round's vote collector; by default the round
+                resolves once it is quorate and voters are skipped on
+                resend.
+            done: overrides the tracker's ``reached`` as the resolution
+                predicate (e.g. committed flags that outlive the tracker).
+            voters: overrides the tracker's voter list as the skip set.
+        """
+        if not self.policy.enabled:
+            return
+        self._entries[key] = _RetransmitEntry(
+            message, size_bytes, tracker, done, voters,
+            self.kernel.sim.now, self.policy.initial_timeout_ms)
+        self._arm()
+
+    def resolve(self, key: object) -> None:
+        """Drop the pending round ``key`` (decided, superseded, or aborted)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every pending round and stop the scan timer."""
+        self._entries.clear()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def rearm_after_restart(self) -> None:
+        """Re-establish the scan chain after a crash/restart cycle.
+
+        A timer armed before the crash either fired while crashed (silently
+        skipped) or is still scheduled; cancelling it and re-arming keeps
+        exactly one scan chain alive.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._arm()
+
+    # ------------------------------------------------------------- internals
+
+    def _arm(self) -> None:
+        if self._timer is None and self._entries:
+            self._timer = self.kernel.set_timer(self.policy.scan_every_ms, self._scan)
+
+    @staticmethod
+    def _is_done(entry: _RetransmitEntry) -> bool:
+        if entry.done is not None:
+            return entry.done()
+        return entry.tracker.reached if entry.tracker is not None else False
+
+    @staticmethod
+    def _count(entry: _RetransmitEntry) -> int:
+        return entry.tracker.count if entry.tracker is not None else 0
+
+    @staticmethod
+    def _voters(entry: _RetransmitEntry) -> List[int]:
+        if entry.voters is not None:
+            return entry.voters()
+        return entry.tracker.voters() if entry.tracker is not None else []
+
+    def _scan(self) -> None:
+        self._timer = None
+        if not self._entries:
+            return
+        kernel = self.kernel
+        policy = self.policy
+        if kernel.cpu_backlog_ms > policy.backlog_defer_ms:
+            # Votes may simply be queued behind CPU work; resending now
+            # would be noise (and would perturb saturated loss-free runs).
+            self._arm()
+            return
+        now = kernel.sim.now
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if self._is_done(entry):
+                del self._entries[key]
+                continue
+            if now < entry.deadline:
+                continue
+            count = self._count(entry)
+            if count > entry.last_count:
+                # The round is making progress — push the deadline out
+                # instead of resending.
+                entry.last_count = count
+                entry.deadline = now + entry.timeout
+                continue
+            entry.attempts += 1
+            if entry.attempts > policy.max_attempts:
+                del self._entries[key]
+                continue
+            skip = set(self._voters(entry))
+            skip.add(kernel.node_id)
+            for dst in kernel.network.node_ids:
+                if dst in skip:
+                    continue
+                kernel.send(dst, entry.message, size_bytes=entry.size_bytes)
+                kernel.stats.retransmissions_sent += 1
+            entry.timeout = min(entry.timeout * policy.backoff_factor,
+                                policy.max_timeout_ms)
+            entry.deadline = now + entry.timeout + self._jitter.uniform(
+                0.0, policy.jitter_ms)
+        self._arm()
+
+
 class ProtocolKernel(ConsensusReplica):
     """Base class for protocol replicas running on the runtime kernel.
 
@@ -157,6 +414,10 @@ class ProtocolKernel(ConsensusReplica):
         self.stats = ProtocolStats()
         self.failure_detector: Optional[FailureDetector] = None
         self._fd_setup: Optional[Dict[str, object]] = None
+        self.retransmit = RetransmitBuffer(self, RetransmitPolicy())
+        self._catchup_timer: Optional[Timer] = None
+        self._catchup_attempts = 0
+        self._catchup_signature: Optional[tuple] = None
         #: bound-method dispatch table (exact type -> handler), built once per
         #: instance so the hot path is a dict lookup plus a call.
         self._dispatch = {message_cls: getattr(self, name)
@@ -193,3 +454,144 @@ class ProtocolKernel(ConsensusReplica):
             self.failure_detector = FailureDetector(
                 owner=self, peer_ids=self.network.node_ids, **self._fd_setup)
             self.failure_detector.start()
+
+    # --------------------------------------------------------- retransmission
+
+    def track_retransmit(self, key: object, message: object, *, size_bytes: int = 64,
+                         tracker: Optional[QuorumTracker] = None,
+                         done: Optional[Callable[[], bool]] = None,
+                         voters: Optional[Callable[[], List[int]]] = None) -> None:
+        """Track a quorum-pending broadcast for resend (see
+        :meth:`RetransmitBuffer.track`)."""
+        self.retransmit.track(key, message, size_bytes=size_bytes,
+                              tracker=tracker, done=done, voters=voters)
+
+    def resolve_retransmit(self, key: object) -> None:
+        """Stop retransmitting the round ``key``."""
+        self.retransmit.resolve(key)
+
+    def configure_retransmit(self, *, enabled: Optional[bool] = None,
+                             policy: Optional[RetransmitPolicy] = None) -> None:
+        """Replace the retransmission policy or flip the master switch.
+
+        Disabling clears all pending rounds and stops the catch-up probe —
+        this restores the pre-retransmission behaviour (safe but not live
+        under message loss), which the negative-control tests rely on.
+        """
+        if policy is not None:
+            self.retransmit.policy = policy
+        if enabled is not None:
+            self.retransmit.policy = replace(self.retransmit.policy, enabled=enabled)
+        if not self.retransmit.policy.enabled:
+            self.retransmit.clear()
+            if self._catchup_timer is not None:
+                self._catchup_timer.cancel()
+                self._catchup_timer = None
+            self._catchup_signature = None
+            self._catchup_attempts = 0
+
+    # --------------------------------------------------------------- catch-up
+
+    def catchup_need(self) -> Optional[Tuple[int, Tuple[str, ...]]]:
+        """Describe this replica's execution gap, or ``None`` when caught up.
+
+        Protocol hook.  Returns ``(cursor, want)`` — a protocol-defined
+        low-water mark plus tokens naming specific missing items — that is
+        broadcast in a :class:`CatchUpRequest` if the gap persists.
+        """
+        return None
+
+    def catchup_supply(self, cursor: int, want: Tuple[str, ...]):
+        """Decided messages this replica can replay for a peer's gap.
+
+        Protocol hook.  Returns an iterable of registered decided-type
+        messages (e.g. commits); each is re-dispatched through the normal
+        handler path at the requester.
+        """
+        return []
+
+    def note_progress_gap(self) -> None:
+        """Note that local execution may be stuck behind missing decisions.
+
+        Protocols call this wherever execution order is (re)evaluated.  If a
+        gap exists and no probe is armed, a one-shot check fires after
+        ``catchup_check_ms``; only a gap whose *signature* (executed count +
+        the gap description) is unchanged for the whole interval triggers a
+        :class:`CatchUpRequest` — a live clean run never does.
+        """
+        if (not self.retransmit.policy.enabled or self.crashed
+                or self._catchup_timer is not None):
+            return
+        need = self.catchup_need()
+        if need is None:
+            return
+        self._catchup_signature = (self.commands_executed,) + tuple(need)
+        self._catchup_attempts = 0
+        self._catchup_timer = self.set_timer(
+            self.retransmit.policy.catchup_check_ms, self._catchup_check)
+
+    def _catchup_check(self) -> None:
+        self._catchup_timer = None
+        policy = self.retransmit.policy
+        if not policy.enabled:
+            return
+        if self.cpu_backlog_ms > policy.backlog_defer_ms:
+            self._catchup_timer = self.set_timer(policy.catchup_check_ms,
+                                                 self._catchup_check)
+            return
+        need = self.catchup_need()
+        if need is None:
+            self._catchup_signature = None
+            self._catchup_attempts = 0
+            return
+        signature = (self.commands_executed,) + tuple(need)
+        if signature != self._catchup_signature:
+            # Something moved (or the gap changed shape): restart the clock.
+            self._catchup_signature = signature
+            self._catchup_attempts = 0
+            self._catchup_timer = self.set_timer(policy.catchup_check_ms,
+                                                 self._catchup_check)
+            return
+        self._catchup_attempts += 1
+        if self._catchup_attempts > policy.catchup_max_attempts:
+            return
+        cursor, want = need
+        self.stats.catchup_requests += 1
+        self.broadcast(CatchUpRequest(sender=self.node_id, cursor=cursor,
+                                      want=tuple(want)), include_self=False)
+        interval = min(
+            policy.catchup_check_ms
+            * policy.catchup_backoff_factor ** self._catchup_attempts,
+            policy.catchup_max_interval_ms)
+        self._catchup_timer = self.set_timer(interval, self._catchup_check)
+
+    @handles(CatchUpRequest)
+    def _on_catchup_request(self, src: int, message: CatchUpRequest) -> None:
+        policy = self.retransmit.policy
+        if not policy.enabled:
+            return
+        supplies = list(self.catchup_supply(message.cursor, message.want))
+        if not supplies:
+            return
+        supplies = supplies[:policy.catchup_reply_limit]
+        self.stats.catchup_replies += 1
+        self.send(src, CatchUpReply(sender=self.node_id, messages=tuple(supplies)),
+                  size_bytes=64 * (1 + len(supplies)))
+
+    @handles(CatchUpReply)
+    def _on_catchup_reply(self, src: int, message: CatchUpReply) -> None:
+        for inner in message.messages:
+            self.handle_message(src, inner)
+
+    # ------------------------------------------------------------- life cycle
+
+    def on_restart(self) -> None:
+        """Re-establish the timer chains a crash silently killed."""
+        super().on_restart()
+        self.retransmit.rearm_after_restart()
+        if self._catchup_timer is not None:
+            self._catchup_timer.cancel()
+            self._catchup_timer = None
+        self._catchup_attempts = 0
+        self._catchup_signature = None
+        self.note_progress_gap()

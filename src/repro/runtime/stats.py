@@ -45,6 +45,10 @@ class ProtocolStats:
     acquisition_backoffs: int = 0
     local_decisions: int = 0
     accepts_preempted: int = 0
+    # Runtime retransmission / catch-up.
+    retransmissions_sent: int = 0
+    catchup_requests: int = 0
+    catchup_replies: int = 0
 
     def non_zero(self):
         """``(name, value)`` pairs of every counter that moved, in field order."""

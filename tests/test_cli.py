@@ -102,11 +102,18 @@ class TestChaosCommand:
         assert "4/4 cells passed" in output
 
     def test_matrix_failure_sets_exit_code(self, capsys):
-        # Mencius has no retransmission: message loss costs it liveness.
-        code = main(["chaos", "--matrix", "--quick", "--seed", "3",
+        # With retransmission disabled, message loss costs Mencius liveness —
+        # the historical split, now reproducible only behind --no-retransmit.
+        code = main(["chaos", "--matrix", "--quick", "--seed", "3", "--no-retransmit",
                      "--protocols", "mencius", "--schedules", "flaky-links"])
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_lossy_matrix_passes_with_retransmission(self, capsys):
+        code = main(["chaos", "--matrix", "--quick", "--seed", "3",
+                     "--protocols", "mencius", "--schedules", "flaky-links"])
+        assert code == 0
+        assert "1/1 cells passed" in capsys.readouterr().out
 
     def test_random_schedules(self, capsys):
         code = main(["chaos", "--protocol", "caesar", "--random", "2", "--seed", "5",
