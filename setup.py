@@ -18,8 +18,9 @@ setup(
         "console_scripts": [
             "repro = repro.cli:main",
             # Historical alias from before the CLI gained the sweep
-            # orchestrator; same entry point.
-            "caesar-repro = repro.cli:main",
+            # orchestrator; prints a deprecation notice, then behaves
+            # identically.
+            "caesar-repro = repro.cli:main_deprecated",
         ],
     },
 )

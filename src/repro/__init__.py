@@ -5,8 +5,13 @@ The package implements the CAESAR multi-leader Generalized Consensus protocol
 (:mod:`repro.baselines`), and everything needed to run them: a deterministic
 discrete-event wide-area simulator (:mod:`repro.sim`), a replicated key-value
 store (:mod:`repro.kvstore`), workload generators (:mod:`repro.workload`),
-metrics (:mod:`repro.metrics`), and an experiment harness that regenerates
-every figure of the paper's evaluation (:mod:`repro.harness`).
+metrics (:mod:`repro.metrics`), an experiment harness that regenerates
+every figure of the paper's evaluation (:mod:`repro.harness`), and a real
+asyncio TCP deployment mode running the same protocol code over sockets
+(:mod:`repro.net`).
+
+Programmatic users should import :mod:`repro.api` — the one stable facade
+re-exporting every entry point and config dataclass.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,81 @@
+"""One public facade over the repro toolkit.
+
+Everything an external caller (a notebook, a script, the examples) needs is
+re-exported here, so user code imports one module instead of spelunking the
+package layout::
+
+    from repro import api
+
+    result = api.run_experiment(api.ExperimentConfig(protocol="caesar"))
+    chaos = api.run_chaos(api.ChaosConfig(schedule="minority-partition"))
+    cluster = api.serve_cluster(api.ServeConfig(protocol="caesar", replicas=3))
+
+The four entry points:
+
+* :func:`run_experiment` — one protocol, one workload, on the simulator;
+* :func:`run_sweep` — many experiment cells, optionally in parallel;
+* :func:`run_chaos` — a protocol under a nemesis fault schedule, with
+  linearizability checking;
+* :func:`serve_cluster` — a real multiprocess TCP cluster on this host
+  (paired with :func:`run_loadgen` to drive it).
+
+Each entry point has a config dataclass (``ExperimentConfig``,
+``ChaosConfig``, ``ServeConfig``, ``LoadgenConfig``, plus the underlying
+``ClusterConfig`` / ``NetworkConfig`` / ``WorkloadConfig``), and every config
+that maps onto CLI flags has a ``from_args`` classmethod — the CLI itself is
+just argparse + these constructors.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.command import Command, CommandResult
+# The baseline protocols register themselves on import; pulling the module
+# in here means ``api.PROTOCOLS`` is fully populated for facade users.
+from repro.harness import protocols as _protocols  # noqa: F401
+from repro.harness.chaos import ChaosConfig, ChaosResult, run_chaos
+from repro.harness.cluster import (PROTOCOLS, Cluster, ClusterConfig,
+                                   build_cluster, register_protocol)
+from repro.harness.experiment import (ExperimentConfig, ExperimentResult,
+                                      run_experiment)
+from repro.harness.sweep import SweepCell, SweepResult, run_sweep, sweep_cell
+from repro.net.client import (LoadgenConfig, LoadgenReport, fetch_stats,
+                              run_loadgen)
+from repro.net.cluster import LocalCluster, ServeConfig, serve_cluster
+from repro.net.replica import ReplicaConfig, ReplicaServer, serve_replica
+from repro.sim.network import NetworkConfig
+from repro.workload.generator import WorkloadConfig
+
+__all__ = [
+    # entry points
+    "run_experiment",
+    "run_sweep",
+    "run_chaos",
+    "serve_cluster",
+    "run_loadgen",
+    "serve_replica",
+    # configs
+    "ExperimentConfig",
+    "ChaosConfig",
+    "ClusterConfig",
+    "NetworkConfig",
+    "WorkloadConfig",
+    "ServeConfig",
+    "LoadgenConfig",
+    "ReplicaConfig",
+    # results / building blocks
+    "ExperimentResult",
+    "ChaosResult",
+    "SweepCell",
+    "SweepResult",
+    "sweep_cell",
+    "LoadgenReport",
+    "LocalCluster",
+    "ReplicaServer",
+    "Cluster",
+    "Command",
+    "CommandResult",
+    "PROTOCOLS",
+    "build_cluster",
+    "register_protocol",
+    "fetch_stats",
+]

@@ -1,7 +1,7 @@
 """Command-line interface for running experiments and regenerating figures.
 
-Installed as the ``repro`` console script (``caesar-repro`` is kept as an
-alias)::
+Installed as the ``repro`` console script (``caesar-repro`` is kept as a
+deprecated alias)::
 
     repro run --protocol caesar --conflicts 30 --clients 10
     repro compare --conflicts 0 10 30
@@ -11,15 +11,22 @@ alias)::
     repro sweep all --workers auto --quick
     repro chaos --protocol caesar --nemesis minority-partition --seed 3
     repro chaos --matrix --quick
+    repro serve --protocol caesar --replicas 3
+    repro loadgen --launch 3 --clients 3 --commands 10
     repro topology
 
-The CLI is a thin wrapper over :mod:`repro.harness`; everything it prints can
-also be produced programmatically (see ``examples/``).
+The CLI is a thin wrapper over :mod:`repro.api`: argument parsing lives here,
+every config is built through its ``from_args`` classmethod, and everything
+the CLI prints can also be produced programmatically (see ``examples/``).
+Flags shared by several subcommands (``--protocol``, ``--seed``,
+``--clients``, ``--conflicts``, ``--duration``) are declared once in
+:func:`shared_flags` parent parsers, with per-subcommand defaults.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -28,11 +35,12 @@ from typing import Optional, Sequence
 
 from repro.harness import figures
 from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.harness.figures import throughput_cost_model
 from repro.harness.report import format_protocol_stats, format_series
 from repro.metrics.perf import TIMING_EXTRA_KEY, PerfRecord, write_record
-from repro.sim.batching import BatchingConfig
 from repro.sim.topology import EC2_SHORT_LABELS, EC2_SITES, ec2_five_sites
+
+#: Every registered protocol name, in CLI display order.
+PROTOCOL_CHOICES = ["caesar", "epaxos", "multipaxos", "mencius", "m2paxos"]
 
 #: Maps ``figure <n>`` / ``sweep <n>`` to the driver that regenerates it.
 FIGURE_DRIVERS = {
@@ -72,34 +80,60 @@ def _figure_order(key: str):
     return (0, int(key), "") if key.isdigit() else (1, 0, key)
 
 
+def shared_flags(protocol: Optional[str] = None, seed: int = 1,
+                 clients: Optional[int] = None,
+                 conflicts: Optional[object] = None,
+                 duration: Optional[float] = None) -> argparse.ArgumentParser:
+    """Build a parent parser with the flags shared across subcommands.
+
+    Each subcommand passes the defaults it wants (and ``None`` to omit a
+    flag entirely), so the flag *vocabulary* — names, types, help strings —
+    is declared exactly once.  ``conflicts`` may be a float (single rate) or
+    a list (``nargs='+'``, as ``compare`` uses).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if protocol is not None:
+        parent.add_argument("--protocol", default=protocol, choices=PROTOCOL_CHOICES)
+    parent.add_argument("--seed", type=int, default=seed)
+    if clients is not None:
+        parent.add_argument("--clients", type=int, default=clients,
+                            help="clients per site")
+    if conflicts is not None:
+        if isinstance(conflicts, (list, tuple)):
+            parent.add_argument("--conflicts", type=float, nargs="+",
+                                default=list(conflicts),
+                                help="percentages of conflicting commands (0-100)")
+        else:
+            parent.add_argument("--conflicts", type=float, default=conflicts,
+                                help="percentage of conflicting commands (0-100)")
+    if duration is not None:
+        parent.add_argument("--duration", type=float, default=duration,
+                            help="measured duration in simulated ms")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of CAESAR (Speeding up Consensus by Chasing Fast "
-                    "Decisions, DSN 2017) on a simulated geo-replicated substrate.")
+                    "Decisions, DSN 2017) on a simulated geo-replicated substrate "
+                    "and over real TCP sockets.")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="run one protocol on one workload")
-    run_parser.add_argument("--protocol", default="caesar",
-                            choices=["caesar", "epaxos", "multipaxos", "mencius", "m2paxos"])
-    run_parser.add_argument("--conflicts", type=float, default=0.0,
-                            help="percentage of conflicting commands (0-100)")
-    run_parser.add_argument("--clients", type=int, default=10, help="clients per site")
-    run_parser.add_argument("--duration", type=float, default=8000.0,
-                            help="measured duration in simulated ms")
-    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser = subparsers.add_parser(
+        "run", help="run one protocol on one workload",
+        parents=[shared_flags(protocol="caesar", seed=1, clients=10,
+                              conflicts=0.0, duration=8000.0)])
     run_parser.add_argument("--batching", action="store_true",
                             help="enable network message batching")
     run_parser.add_argument("--throughput", action="store_true",
                             help="use the saturation CPU cost model (throughput study)")
 
-    compare_parser = subparsers.add_parser("compare",
-                                           help="compare all protocols at given conflict rates")
-    compare_parser.add_argument("--conflicts", type=float, nargs="+", default=[0.0, 10.0, 30.0])
-    compare_parser.add_argument("--clients", type=int, default=10)
-    compare_parser.add_argument("--duration", type=float, default=6000.0)
-    compare_parser.add_argument("--seed", type=int, default=1)
+    subparsers.add_parser(
+        "compare", help="compare all protocols at given conflict rates",
+        parents=[shared_flags(seed=1, clients=10, conflicts=[0.0, 10.0, 30.0],
+                              duration=6000.0)])
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one figure of the paper")
     figure_parser.add_argument("number", choices=sorted(FIGURE_DRIVERS, key=_figure_order),
@@ -140,16 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser = subparsers.add_parser(
         "chaos",
         help="run a protocol under a nemesis fault schedule and check the "
-             "client history for linearizability")
-    chaos_parser.add_argument("--protocol", default="caesar",
-                              choices=["caesar", "epaxos", "multipaxos", "mencius",
-                                       "m2paxos"])
+             "client history for linearizability",
+        parents=[shared_flags(protocol="caesar", seed=1, clients=2,
+                              conflicts=50.0)])
     chaos_parser.add_argument("--nemesis", default="minority-partition",
                               help="named nemesis schedule (see --list-schedules)")
-    chaos_parser.add_argument("--seed", type=int, default=1)
-    chaos_parser.add_argument("--clients", type=int, default=2, help="clients per site")
-    chaos_parser.add_argument("--conflicts", type=float, default=50.0,
-                              help="percentage of conflicting commands (0-100)")
     chaos_parser.add_argument("--fault-at", type=float, default=None,
                               help="virtual ms at which the faults begin "
                                    "(default: 1000, or 500 with --quick)")
@@ -180,18 +209,58 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--quick", action="store_true",
                               help="scaled-down fault window (fast smoke run)")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run replicas as real processes speaking the wire format over TCP",
+        parents=[shared_flags(protocol="caesar", seed=0)])
+    serve_parser.add_argument("--replicas", type=int, default=3,
+                              help="cluster size for single-host mode")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address for auto-allocated ports")
+    serve_parser.add_argument("--peer", action="append", default=None,
+                              metavar="ID=HOST:PORT",
+                              help="explicit peer map entry (repeat per replica; "
+                                   "required for multi-host mode)")
+    serve_parser.add_argument("--node-id", type=int, default=None,
+                              help="run only this replica in the foreground "
+                                   "(multi-host mode; requires --peer entries)")
+    serve_parser.add_argument("--recovery", action="store_true",
+                              help="run failure detectors / recovery machinery")
+    serve_parser.add_argument("--no-retransmit", action="store_true",
+                              help="disable the runtime retransmission + catch-up "
+                                   "layer (not recommended over real sockets)")
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a live cluster with the seeded workload over TCP",
+        parents=[shared_flags(protocol="caesar", seed=0, clients=3,
+                              conflicts=2.0)])
+    loadgen_parser.add_argument("--endpoint", action="append", default=None,
+                                metavar="ID=HOST:PORT",
+                                help="replica endpoint (repeat per replica)")
+    loadgen_parser.add_argument("--launch", type=int, default=None, metavar="N",
+                                help="launch an N-replica local cluster first, "
+                                     "drive it, then tear it down")
+    loadgen_parser.add_argument("--commands", type=int, default=10,
+                                help="closed-loop commands per client")
+    loadgen_parser.add_argument("--open-loop", action="store_true",
+                                help="Poisson open-loop injection instead of "
+                                     "closed loop")
+    loadgen_parser.add_argument("--rate", type=float, default=50.0,
+                                help="open-loop rate per client (commands/s)")
+    loadgen_parser.add_argument("--duration", type=float, default=2000.0,
+                                help="open-loop injection window (real ms)")
+    loadgen_parser.add_argument("--timeout", type=float, default=60.0,
+                                help="overall wall-clock budget (seconds)")
+    loadgen_parser.add_argument("--json", action="store_true",
+                                help="print the report as JSON")
+
     subparsers.add_parser("topology", help="print the simulated five-site EC2 topology")
     return parser
 
 
 def _run(args: argparse.Namespace) -> str:
-    config = ExperimentConfig(
-        protocol=args.protocol, conflict_rate=args.conflicts / 100.0,
-        clients_per_site=args.clients, duration_ms=args.duration,
-        warmup_ms=min(2000.0, args.duration / 4), seed=args.seed,
-        cost_model=throughput_cost_model() if args.throughput else None,
-        batching=BatchingConfig() if args.batching else None)
-    result = run_experiment(config)
+    result = run_experiment(ExperimentConfig.from_args(args))
     lines = [f"protocol:           {args.protocol}",
              f"conflict rate:      {args.conflicts:.0f}%",
              f"commands completed: {result.metrics.count}",
@@ -223,10 +292,8 @@ def _compare(args: argparse.Namespace) -> str:
         latency[protocol] = {}
         slow[protocol] = {}
         for conflicts in args.conflicts:
-            result = run_experiment(ExperimentConfig(
-                protocol=protocol, conflict_rate=conflicts / 100.0,
-                clients_per_site=args.clients, duration_ms=args.duration,
-                warmup_ms=min(2000.0, args.duration / 4), seed=args.seed))
+            result = run_experiment(ExperimentConfig.from_args(
+                args, protocol=protocol, conflict_rate=conflicts / 100.0))
             key = f"{conflicts:.0f}%"
             overall = result.overall_latency
             latency[protocol][key] = overall.mean if overall else None
@@ -329,23 +396,6 @@ def _sweep(args: argparse.Namespace) -> str:
     return "\n\n".join(outputs)
 
 
-def _chaos_config_kwargs(args: argparse.Namespace) -> dict:
-    """Translate chaos CLI flags into ChaosConfig keyword arguments.
-
-    ``--quick`` only shrinks the windows the user did not set explicitly.
-    """
-    fault_at = args.fault_at if args.fault_at is not None else (
-        500.0 if args.quick else 1000.0)
-    hold = args.hold if args.hold is not None else (1000.0 if args.quick else 2000.0)
-    kwargs = dict(seed=args.seed, clients_per_site=args.clients,
-                  conflict_rate=args.conflicts / 100.0, fault_at_ms=fault_at,
-                  fault_hold_ms=hold, recovery=args.recovery,
-                  retransmit_enabled=not args.no_retransmit)
-    if args.quick:
-        kwargs["settle_ms"] = 800.0
-    return kwargs
-
-
 def _chaos_single(result) -> str:
     """Render one ChaosResult in full detail."""
     lines = [result.plan.describe(), ""]
@@ -386,7 +436,7 @@ def _chaos(args: argparse.Namespace) -> tuple:
             lines.append(f"  {marker} {name:22s} {(builder.__doc__ or '').strip()}")
         return "\n".join(lines), 0
 
-    kwargs = _chaos_config_kwargs(args)
+    kwargs = ChaosConfig.kwargs_from_args(args)
     if args.matrix:
         protocols = args.protocols or ["caesar", "epaxos", "m2paxos", "mencius",
                                        "multipaxos"]
@@ -412,9 +462,91 @@ def _chaos(args: argparse.Namespace) -> tuple:
         outputs.append(f"{args.random - failures}/{args.random} random schedules passed")
         return "\n".join(outputs), 0 if failures == 0 else 1
 
-    result = run_chaos(ChaosConfig(protocol=args.protocol, schedule=args.nemesis,
-                                   **kwargs))
+    result = run_chaos(ChaosConfig.from_args(args))
     return _chaos_single(result), 0 if result.ok else 1
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the serve subcommand; blocks until interrupted."""
+    from repro.net.cluster import ServeConfig, serve_cluster
+    from repro.net.replica import ReplicaConfig, serve_replica
+
+    config = ServeConfig.from_args(args)
+    if args.node_id is not None:
+        # Multi-host mode: one replica in the foreground of this process.
+        if config.peers is None:
+            print("serve --node-id requires an explicit --peer map", file=sys.stderr)
+            return 2
+        import asyncio
+
+        replica_config = ReplicaConfig(
+            node_id=args.node_id, peers=config.peers, protocol=config.protocol,
+            seed=config.seed, retransmit=config.retransmit, recovery=config.recovery)
+        host, port = config.peers[args.node_id]
+        print(f"replica {args.node_id} ({config.protocol}) listening on {host}:{port}")
+        try:
+            asyncio.run(serve_replica(replica_config))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    cluster = serve_cluster(config)
+    try:
+        print(f"{config.protocol} cluster up — {len(cluster.peers)} replicas:")
+        for node_id, (host, port) in sorted(cluster.peers.items()):
+            print(f"  --endpoint {node_id}={host}:{port}")
+        print("press Ctrl-C to stop")
+        for process in cluster.processes.values():
+            process.join()
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        cluster.stop()
+
+
+def _loadgen(args: argparse.Namespace) -> int:
+    """Run the loadgen subcommand; exit code 1 on missing decisions."""
+    from repro.net.client import LoadgenConfig, run_loadgen
+    from repro.net.cluster import ServeConfig, parse_peers, serve_cluster
+
+    cluster = None
+    if args.launch is not None:
+        cluster = serve_cluster(ServeConfig.from_args(args, replicas=args.launch,
+                                                      peers=None))
+        endpoints = cluster.peers
+    else:
+        endpoints = parse_peers(args.endpoint or [])
+        if not endpoints:
+            print("loadgen needs --endpoint entries or --launch N", file=sys.stderr)
+            return 2
+    try:
+        report = run_loadgen(LoadgenConfig(
+            endpoints=endpoints, clients=args.clients,
+            commands_per_client=args.commands, open_loop=args.open_loop,
+            rate_per_client=args.rate, duration_ms=args.duration,
+            conflict_rate=args.conflicts / 100.0, seed=args.seed,
+            timeout_s=args.timeout))
+    finally:
+        if cluster is not None:
+            cluster.stop()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        lines = [f"completed:  {report.completed}/{report.submitted} commands "
+                 f"in {report.wall_seconds:.1f}s "
+                 f"({report.throughput_per_second:.1f}/s)"]
+        if report.mean_latency_ms is not None:
+            lines.append(f"latency:    mean {report.mean_latency_ms:.1f} ms, "
+                         f"p99 {report.p99_latency_ms:.1f} ms")
+        for node_id, stats in sorted(report.per_replica.items()):
+            executed = stats.get("commands_executed", "n/a")
+            lines.append(f"replica {node_id}:  executed {executed}, "
+                         f"handled {stats.get('messages_handled', 'n/a')} messages")
+        lines.append("result:     " + ("ok" if report.ok else "FAILED"))
+        lines.extend(f"  - {failure}" for failure in report.failures)
+        print("\n".join(lines))
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -433,6 +565,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output, code = _chaos(args)
         print(output)
         return code
+    elif args.command == "serve":
+        return _serve(args)
+    elif args.command == "loadgen":
+        return _loadgen(args)
     elif args.command == "topology":
         output = ec2_five_sites().describe()
     else:  # pragma: no cover - argparse enforces the choices
@@ -440,6 +576,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     print(output)
     return 0
+
+
+def main_deprecated(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the deprecated ``caesar-repro`` alias."""
+    print("caesar-repro is deprecated; use the 'repro' command instead",
+          file=sys.stderr)
+    return main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

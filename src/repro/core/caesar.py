@@ -347,12 +347,31 @@ class CaesarReplica(ProtocolKernel):
         if state is None or state.phase != PHASE_FAST or state.ballot != message.ballot:
             return
         if not state.votes.vote(src, message):
+            if self._fast_quorum_unreachable(state):
+                self._on_fast_proposal_timeout(message.command_id)
             return
         replies = self._merge_fast_replies(state)
         if any(not reply.ok for reply in replies):
             self._start_retry(state)
         else:
             self._start_stable(state)
+
+    def _fast_quorum_unreachable(self, state: LeaderState) -> bool:
+        """True when every node the detector still trusts has already voted.
+
+        The missing fast-quorum votes can then only come from suspected
+        nodes, so waiting out the full proposal timer is pointless; the
+        leader falls back immediately.  Requires a classic quorum of actual
+        votes so the timeout handler can complete the slow fallback.
+        """
+        detector = self.failure_detector
+        if detector is None or not detector.suspected:
+            return False
+        if state.votes.count < self.quorums.classic:
+            return False
+        voters = set(state.votes.voters())
+        return all(node_id in voters or node_id in detector.suspected
+                   for node_id in self.network.node_ids)
 
     @handles(SlowProposeReply)
     def _on_slow_propose_reply(self, src: int, message: SlowProposeReply) -> None:

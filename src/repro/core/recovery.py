@@ -88,6 +88,22 @@ class RecoveryManager:
             votes=QuorumTracker(self.replica.quorums.classic))
         self.replica.stats.recoveries_started += 1
         self.replica.broadcast(Recovery(command=command, ballot=ballot))
+        # Cast the local vote explicitly: the ballot register was bumped above,
+        # so the self-delivered broadcast fails the acceptor's ``ballot <=
+        # current`` freshness check and would never be answered.  Without the
+        # self vote a classic quorum is unreachable whenever only
+        # ``classic - 1`` peers are live (e.g. 3 replicas, one dead).
+        self.on_recovery_reply(self.replica.node_id, self._local_reply(command_id, ballot))
+
+    def _local_reply(self, command_id: CommandId, ballot: Ballot) -> RecoveryReply:
+        """This replica's own tuple, shaped like an acceptor's reply."""
+        entry = self.replica.history.get(command_id)
+        if entry is None:
+            return RecoveryReply(command_id=command_id, ballot=ballot, known=False)
+        return RecoveryReply(command_id=command_id, ballot=ballot, known=True,
+                             entry_ballot=entry.ballot, timestamp=entry.timestamp,
+                             predecessors=frozenset(entry.predecessors),
+                             status=entry.status.value, forced=entry.forced)
 
     def on_recovery_message(self, src: int, message: Recovery) -> None:
         """Acceptor side (Figure 5, lines 28-33): answer with the local tuple."""
@@ -96,15 +112,7 @@ class RecoveryManager:
         if current is not None and message.ballot <= current:
             return
         self.replica.ballots[command_id] = message.ballot
-        entry = self.replica.history.get(command_id)
-        if entry is None:
-            reply = RecoveryReply(command_id=command_id, ballot=message.ballot, known=False)
-        else:
-            reply = RecoveryReply(command_id=command_id, ballot=message.ballot, known=True,
-                                  entry_ballot=entry.ballot, timestamp=entry.timestamp,
-                                  predecessors=frozenset(entry.predecessors),
-                                  status=entry.status.value, forced=entry.forced)
-        self.replica.send(src, reply)
+        self.replica.send(src, self._local_reply(command_id, message.ballot))
 
     # ------------------------------------------------------------ dispatching
 

@@ -101,6 +101,43 @@ class ChaosConfig:
     workload: Optional[WorkloadConfig] = None
     max_states_per_key: int = DEFAULT_MAX_STATES
 
+    @classmethod
+    def kwargs_from_args(cls, args) -> Dict[str, object]:
+        """Shared chaos settings from CLI args, as plain keyword arguments.
+
+        Used both by :meth:`from_args` and by the matrix / random-schedule
+        drivers, which fan the same settings out over many configs.
+        ``--quick`` only shrinks the windows the user did not set explicitly.
+        """
+        quick = getattr(args, "quick", False)
+        fault_at = getattr(args, "fault_at", None)
+        if fault_at is None:
+            fault_at = 500.0 if quick else 1000.0
+        hold = getattr(args, "hold", None)
+        if hold is None:
+            hold = 1000.0 if quick else 2000.0
+        kwargs: Dict[str, object] = dict(
+            seed=getattr(args, "seed", cls.seed),
+            clients_per_site=getattr(args, "clients", cls.clients_per_site),
+            conflict_rate=getattr(args, "conflicts", 50.0) / 100.0,
+            fault_at_ms=fault_at, fault_hold_ms=hold,
+            recovery=getattr(args, "recovery", False),
+            retransmit_enabled=not getattr(args, "no_retransmit", False))
+        if quick:
+            kwargs["settle_ms"] = 800.0
+        return kwargs
+
+    @classmethod
+    def from_args(cls, args, **overrides) -> "ChaosConfig":
+        """Build a config from CLI-style args; keyword ``overrides`` win."""
+        kwargs = cls.kwargs_from_args(args)
+        kwargs["protocol"] = getattr(args, "protocol", cls.protocol)
+        schedule = getattr(args, "nemesis", None)
+        if schedule is not None:
+            kwargs["schedule"] = schedule
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
 
 @dataclass
 class ChaosResult:

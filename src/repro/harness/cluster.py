@@ -54,6 +54,23 @@ class ClusterConfig:
     retransmit: bool = True
     protocol_options: Dict[str, object] = field(default_factory=dict)
 
+    @classmethod
+    def from_args(cls, args, **overrides) -> "ClusterConfig":
+        """Build a config from CLI-style args; keyword ``overrides`` win.
+
+        Understands the shared vocabulary (``--protocol``, ``--seed``,
+        ``--no-retransmit``) and delegates network flags to
+        :meth:`NetworkConfig.from_args`.
+        """
+        kwargs: Dict[str, object] = {
+            "protocol": getattr(args, "protocol", cls.protocol),
+            "seed": getattr(args, "seed", cls.seed),
+            "retransmit": not getattr(args, "no_retransmit", False),
+            "network": NetworkConfig.from_args(args),
+        }
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
 
 class Cluster:
     """A running set of replicas of one protocol plus the simulation substrate."""

@@ -76,6 +76,40 @@ class ExperimentConfig:
     workload: Optional[WorkloadConfig] = None
     drain_ms: float = 2000.0
 
+    @classmethod
+    def from_args(cls, args, **overrides) -> "ExperimentConfig":
+        """Build a config from CLI-style args; keyword ``overrides`` win.
+
+        Understands the shared CLI vocabulary (``--protocol``, ``--seed``,
+        ``--clients``, ``--conflicts`` as a 0-100 percentage, ``--duration``)
+        plus ``--throughput`` / ``--batching`` / ``--recovery`` /
+        ``--no-retransmit``; this is the single place those flags become an
+        :class:`ExperimentConfig`.  Warm-up defaults to a quarter of the
+        duration, capped at 2 s, as the figure experiments use.
+        """
+        kwargs: Dict[str, object] = {
+            "protocol": getattr(args, "protocol", cls.protocol),
+            "seed": getattr(args, "seed", cls.seed),
+            "clients_per_site": getattr(args, "clients", cls.clients_per_site),
+            "recovery": getattr(args, "recovery", False),
+            "retransmit": not getattr(args, "no_retransmit", False),
+        }
+        conflicts = getattr(args, "conflicts", None)
+        if isinstance(conflicts, (int, float)):
+            kwargs["conflict_rate"] = conflicts / 100.0
+        duration = getattr(args, "duration", None)
+        if duration is not None:
+            kwargs["duration_ms"] = duration
+            kwargs["warmup_ms"] = min(2000.0, duration / 4)
+        if getattr(args, "throughput", False):
+            from repro.harness.figures import throughput_cost_model
+
+            kwargs["cost_model"] = throughput_cost_model()
+        if getattr(args, "batching", False):
+            kwargs["batching"] = BatchingConfig()
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
 
 @dataclass
 class ExperimentResult:

@@ -1,0 +1,55 @@
+"""Real-network deployment mode: asyncio TCP transport for the protocols.
+
+The :mod:`repro.net` package runs the *same* protocol code the simulator
+runs — same kernels, same messages, same retransmission/catch-up layer —
+over real sockets:
+
+* :mod:`repro.net.framing` — length-prefixed frames with partial-read
+  handling;
+* :mod:`repro.net.wire` — the envelope messages (Hello / ClientRequest /
+  ClientReply / StatsRequest / StatsReply), registered in the canonical
+  codec;
+* :mod:`repro.net.clock` — wall-clock implementation of the kernel's
+  clock/timer API;
+* :mod:`repro.net.transport` — the :class:`AsyncioTransport` backend of the
+  Transport contract, with per-peer reconnect/backoff;
+* :mod:`repro.net.replica` — one replica behind a TCP listener;
+* :mod:`repro.net.client` — TCP clients reusing the workload drivers, and
+  the ``repro loadgen`` engine;
+* :mod:`repro.net.cluster` — the single-host multiprocess launcher behind
+  ``repro serve``;
+* :mod:`repro.net.loopback` — in-process localhost clusters + the simulator
+  oracle used by the equivalence tests.
+"""
+
+from repro.net.client import (LoadgenConfig, LoadgenReport, RemoteReplica,
+                              fetch_stats, run_loadgen)
+from repro.net.clock import WallClock
+from repro.net.cluster import (LocalCluster, ServeConfig, build_local_cluster,
+                               parse_peers, serve_cluster)
+from repro.net.framing import FrameDecoder, FramingError, encode_frame
+from repro.net.replica import ReplicaConfig, ReplicaServer, serve_replica
+from repro.net.transport import AsyncioTransport, PeerNetwork, ReconnectPolicy
+
+__all__ = [
+    "AsyncioTransport",
+    "FrameDecoder",
+    "FramingError",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "LocalCluster",
+    "PeerNetwork",
+    "ReconnectPolicy",
+    "RemoteReplica",
+    "ReplicaConfig",
+    "ReplicaServer",
+    "ServeConfig",
+    "WallClock",
+    "build_local_cluster",
+    "encode_frame",
+    "fetch_stats",
+    "parse_peers",
+    "run_loadgen",
+    "serve_cluster",
+    "serve_replica",
+]

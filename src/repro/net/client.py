@@ -1,0 +1,303 @@
+"""TCP clients: the socket-side counterpart of the in-process workload.
+
+:class:`RemoteReplica` is a connection to one replica server that quacks
+like a :class:`~repro.consensus.interface.ConsensusReplica` as far as the
+workload clients care (``node_id`` / ``crashed`` / ``submit``), so the
+*same* :class:`~repro.workload.clients.ClosedLoopClient` and
+:class:`~repro.workload.clients.OpenLoopClient` that drive simulator runs
+drive real clusters — running on a :class:`~repro.net.clock.WallClock`
+instead of the simulator, with latencies measured in real milliseconds.
+
+:func:`run_loadgen` is the engine behind ``repro loadgen``: it connects the
+configured clients, replays the seeded workload (identical command streams
+to a simulator run with the same seed), waits for completion and full
+replication, and returns a :class:`LoadgenReport`.
+
+:func:`fetch_stats` is a small *blocking* helper (plain sockets, no asyncio)
+for control-plane callers — the cluster launcher and the CLI — to pull a
+replica's JSON statistics snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.consensus.command import Command, CommandResult
+from repro.metrics.collector import MetricsCollector
+from repro.net.clock import WallClock
+from repro.net.framing import FrameDecoder, encode_frame
+from repro.net.wire import (ROLE_CLIENT, ROLE_CONTROL, ClientReply,
+                            ClientRequest, Hello, StatsReply, StatsRequest)
+from repro.runtime.registry import WIRE
+from repro.sim.random import DeterministicRandom
+from repro.workload.clients import ClientPool, ClosedLoopClient, OpenLoopClient
+from repro.workload.generator import ConflictWorkload, WorkloadConfig
+
+
+class RemoteReplica:
+    """A replica reached over TCP, presenting the local-replica surface.
+
+    Args:
+        node_id: the remote replica's id (used as every command's origin).
+        host/port: the replica server's listen address.
+        client_id: id announced in the connection's Hello frame.
+    """
+
+    def __init__(self, node_id: int, host: str, port: int, client_id: int = 0) -> None:
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        #: mirrors the local-replica surface: flips when the connection dies,
+        #: so closed-loop reconnect logic behaves as it does in-sim.
+        self.crashed = False
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[Tuple[int, int], Callable[[CommandResult], None]] = {}
+
+    async def connect(self) -> None:
+        """Dial the replica and start dispatching replies."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        writer.write(encode_frame(WIRE.encode(
+            Hello(sender=self.client_id, role=ROLE_CLIENT))))
+        await writer.drain()
+        self._writer = writer
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies(reader), name=f"client-{self.client_id}->{self.node_id}")
+
+    async def _read_replies(self, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    break
+                for payload in decoder.feed(data):
+                    message = WIRE.decode_one(payload)
+                    if isinstance(message, ClientReply):
+                        callback = self._pending.pop(message.command_id, None)
+                        if callback is not None:
+                            callback(CommandResult(command_id=message.command_id,
+                                                   value=message.value))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.crashed = True
+
+    def submit(self, command: Command,
+               callback: Optional[Callable[[CommandResult], None]] = None) -> None:
+        """Send a command for ordering; ``callback`` fires on its reply."""
+        if callback is not None:
+            self._pending[command.command_id] = callback
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            self.crashed = True
+            return
+        try:
+            writer.write(encode_frame(WIRE.encode(ClientRequest(command=command))))
+        except (ConnectionError, RuntimeError):
+            self.crashed = True
+
+    @property
+    def outstanding(self) -> int:
+        """Commands submitted but not yet answered."""
+        return len(self._pending)
+
+    async def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except RuntimeError:
+                pass
+            self._writer = None
+
+
+def fetch_stats(host: str, port: int, include_executed: bool = False,
+                timeout_s: float = 10.0) -> Dict[str, object]:
+    """Fetch one replica's JSON statistics snapshot (blocking, no asyncio)."""
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(encode_frame(WIRE.encode(Hello(sender=0, role=ROLE_CONTROL))))
+        sock.sendall(encode_frame(WIRE.encode(
+            StatsRequest(sender=0, include_executed=int(include_executed)))))
+        decoder = FrameDecoder()
+        while True:
+            data = sock.recv(64 * 1024)
+            if not data:
+                raise ConnectionError(f"replica at {host}:{port} closed the "
+                                      "connection before replying to StatsRequest")
+            for payload in decoder.feed(data):
+                message = WIRE.decode_one(payload)
+                if isinstance(message, StatsReply):
+                    return json.loads(message.payload)
+
+
+@dataclass
+class LoadgenConfig:
+    """Parameters for one load-generation run against a live cluster.
+
+    Attributes:
+        endpoints: replica id -> ``(host, port)``; clients are spread
+            round-robin across them (one "site" each, like the paper's
+            co-located clients).
+        clients: number of clients in total.
+        commands_per_client: closed-loop budget per client (ignored in open
+            loop).
+        open_loop: use Poisson open-loop injection instead of closed loop.
+        rate_per_client: open-loop injection rate (commands/second/client).
+        duration_ms: open-loop injection window.
+        conflict_rate: shared-key probability of the generated workload.
+        seed: workload seed; the command streams equal a simulator run with
+            the same seed/client count.
+        workload: full workload override (wins over ``conflict_rate``).
+        timeout_s: overall wall-clock budget for the run.
+        drain_s: extra budget for full replication after clients finish.
+    """
+
+    endpoints: Dict[int, Tuple[str, int]]
+    clients: int = 3
+    commands_per_client: int = 10
+    open_loop: bool = False
+    rate_per_client: float = 50.0
+    duration_ms: float = 2000.0
+    conflict_rate: float = 0.02
+    seed: int = 0
+    workload: Optional[WorkloadConfig] = None
+    timeout_s: float = 60.0
+    drain_s: float = 10.0
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of a :func:`run_loadgen` run."""
+
+    submitted: int
+    completed: int
+    wall_seconds: float
+    mean_latency_ms: Optional[float]
+    p99_latency_ms: Optional[float]
+    throughput_per_second: float
+    per_replica: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed its workload with no failures."""
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (CLI output / CI artifacts)."""
+        return {"submitted": self.submitted, "completed": self.completed,
+                "wall_seconds": self.wall_seconds,
+                "mean_latency_ms": self.mean_latency_ms,
+                "p99_latency_ms": self.p99_latency_ms,
+                "throughput_per_second": self.throughput_per_second,
+                "ok": self.ok, "failures": list(self.failures),
+                "per_replica": {str(k): v for k, v in self.per_replica.items()}}
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Drive a live cluster with the seeded workload (blocking wrapper)."""
+    return asyncio.run(_loadgen(config))
+
+
+async def _loadgen(config: LoadgenConfig) -> LoadgenReport:
+    loop = asyncio.get_running_loop()
+    clock = WallClock(seed=config.seed, loop=loop)
+    metrics = MetricsCollector(warmup_ms=0.0)
+    workload_config = config.workload or WorkloadConfig(conflict_rate=config.conflict_rate)
+    replica_ids = sorted(config.endpoints)
+    failures: List[str] = []
+
+    remotes: List[RemoteReplica] = []
+    pool = ClientPool()
+    base_rng = DeterministicRandom(config.seed)
+    for client_id in range(config.clients):
+        replica_id = replica_ids[client_id % len(replica_ids)]
+        host, port = config.endpoints[replica_id]
+        remote = RemoteReplica(replica_id, host, port, client_id=client_id)
+        await remote.connect()
+        remotes.append(remote)
+        # Same fork labels as the simulator harness: identical command
+        # streams for identical seeds, which is what makes oracle
+        # comparisons across substrates possible.
+        workload = ConflictWorkload(client_id=client_id, origin=replica_id,
+                                    config=workload_config,
+                                    rng=base_rng.fork(f"client-{client_id}"))
+        if config.open_loop:
+            pool.add(OpenLoopClient(client_id, remote, workload, clock, metrics,
+                                    rate_per_second=config.rate_per_client,
+                                    rng=base_rng.fork(f"arrivals-{client_id}"),
+                                    stop_after_ms=config.duration_ms))
+        else:
+            pool.add(ClosedLoopClient(client_id, remote, workload, clock, metrics,
+                                      max_commands=config.commands_per_client))
+
+    started_at = loop.time()
+    deadline = started_at + config.timeout_s
+    pool.start_all()
+    if config.open_loop:
+        await asyncio.sleep(config.duration_ms / 1000.0)
+        pool.stop_all()
+        # Let outstanding commands drain.
+        while (loop.time() < deadline
+               and any(remote.outstanding for remote in remotes)):
+            await asyncio.sleep(0.05)
+    else:
+        expected = config.clients * config.commands_per_client
+        while loop.time() < deadline and pool.total_completed < expected:
+            await asyncio.sleep(0.05)
+        if pool.total_completed < expected:
+            failures.append(f"timeout: {pool.total_completed}/{expected} commands "
+                            f"completed within {config.timeout_s:.0f}s")
+    wall_seconds = loop.time() - started_at
+    submitted = (sum(client.submitted for client in pool.clients) if config.open_loop
+                 else pool.total_completed)
+    completed = pool.total_completed
+    for remote in remotes:
+        await remote.close()
+
+    per_replica = await _drain_and_collect(config, completed, failures)
+
+    summary = metrics.summary()
+    return LoadgenReport(
+        submitted=submitted, completed=completed, wall_seconds=wall_seconds,
+        mean_latency_ms=summary.mean if summary else None,
+        p99_latency_ms=summary.p99 if summary else None,
+        throughput_per_second=completed / wall_seconds if wall_seconds > 0 else 0.0,
+        per_replica=per_replica, failures=failures)
+
+
+async def _drain_and_collect(config: LoadgenConfig, completed: int,
+                             failures: List[str]) -> Dict[int, Dict[str, object]]:
+    """Wait until every replica executed every completed command; gather stats."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + config.drain_s
+    per_replica: Dict[int, Dict[str, object]] = {}
+    lagging = dict(config.endpoints)
+    while lagging:
+        for replica_id, (host, port) in list(lagging.items()):
+            try:
+                stats = await asyncio.to_thread(fetch_stats, host, port)
+            except OSError as exc:
+                stats = {"error": f"{type(exc).__name__}: {exc}"}
+            per_replica[replica_id] = stats
+            if stats.get("commands_executed", -1) >= completed:
+                del lagging[replica_id]
+        if not lagging or loop.time() >= deadline:
+            break
+        await asyncio.sleep(0.1)
+    for replica_id in sorted(lagging):
+        got = per_replica.get(replica_id, {})
+        failures.append(
+            f"replica {replica_id} executed {got.get('commands_executed', 'n/a')} "
+            f"of {completed} commands within the {config.drain_s:.0f}s drain window"
+            + (f" ({got['error']})" if "error" in got else ""))
+    return per_replica

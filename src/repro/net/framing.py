@@ -1,0 +1,91 @@
+"""Length-prefixed framing for the TCP wire.
+
+A frame is a 4-byte big-endian length followed by exactly that many payload
+bytes; the payload is one registry-encoded message
+(:meth:`repro.runtime.registry.MessageRegistry.encode` output).  The framing
+layer is deliberately dumb — no checksums, no versioning — because the codec
+underneath is canonical and self-describing (type-id varint first), and TCP
+already guarantees integrity and ordering per connection.
+
+:class:`FrameDecoder` is an incremental parser: feed it whatever chunk sizes
+the socket produces (half a header, three frames and a tail, one byte at a
+time) and it yields complete payloads in order.  This is the partial-read
+handling the asyncio transport relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List
+
+#: Frame header: payload length as an unsigned 32-bit big-endian integer.
+HEADER = struct.Struct(">I")
+
+#: Hard ceiling on a single frame's payload (16 MiB).  A length above this is
+#: unambiguously a corrupt or hostile stream — no registered message, even a
+#: maximal catch-up reply, comes anywhere close — and failing fast beats
+#: buffering gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FramingError(ValueError):
+    """Raised when a stream violates the framing contract."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap one encoded message into a length-prefixed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame payload of {len(payload)} bytes exceeds "
+                           f"the {MAX_FRAME_BYTES}-byte limit")
+    return HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder turning an arbitrary byte stream into payloads.
+
+    The decoder never copies more than once: chunks accumulate in a list and
+    are joined only when a frame boundary is known to be inside them.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._buffered = 0
+        #: payload length of the frame currently being read (None = reading
+        #: the header).
+        self._need: int | None = None
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes received but not yet emitted as part of a complete frame."""
+        return self._buffered
+
+    def feed(self, data: bytes) -> Iterator[bytes]:
+        """Add ``data`` to the buffer and yield every completed payload."""
+        if data:
+            self._chunks.append(data)
+            self._buffered += len(data)
+        while True:
+            if self._need is None:
+                header = self._take(HEADER.size)
+                if header is None:
+                    return
+                (self._need,) = HEADER.unpack(header)
+                if self._need > MAX_FRAME_BYTES:
+                    raise FramingError(
+                        f"incoming frame of {self._need} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte limit (corrupt stream?)")
+            payload = self._take(self._need)
+            if payload is None:
+                return
+            self._need = None
+            yield payload
+
+    def _take(self, count: int) -> bytes | None:
+        """Remove exactly ``count`` bytes from the buffer, or ``None`` if short."""
+        if self._buffered < count:
+            return None
+        buffer = b"".join(self._chunks) if len(self._chunks) != 1 else self._chunks[0]
+        taken, rest = buffer[:count], buffer[count:]
+        self._chunks = [rest] if rest else []
+        self._buffered = len(rest)
+        return taken

@@ -1,0 +1,270 @@
+"""One consensus replica behind a TCP listener.
+
+:class:`ReplicaServer` hosts exactly the replica objects the simulator
+harness builds — same :data:`~repro.harness.cluster.PROTOCOLS` builders,
+same kernel, same retransmission/catch-up machinery — wired to a
+:class:`~repro.net.clock.WallClock` and an
+:class:`~repro.net.transport.AsyncioTransport` instead of the discrete-event
+substrate.  The server accepts three kinds of connections, told apart by the
+mandatory :class:`~repro.net.wire.Hello` first frame:
+
+* **replica** — inbound protocol traffic from a peer; every subsequent frame
+  is decoded and dispatched into the kernel with the peer's id as ``src``;
+* **client** — :class:`~repro.net.wire.ClientRequest` frames are submitted
+  for ordering and answered with :class:`~repro.net.wire.ClientReply` on the
+  same connection once the command executes;
+* **control** — :class:`~repro.net.wire.StatsRequest` frames are answered
+  with a JSON statistics snapshot (also honoured on client connections).
+
+The CPU cost model defaults to :func:`~repro.sim.costs.zero_cost_model`:
+over real sockets the process burns *actual* CPU, so simulating it on top
+would double-count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.consensus.quorums import QuorumSystem
+from repro.net.clock import WallClock
+from repro.net.framing import FrameDecoder, FramingError, encode_frame
+from repro.net.transport import PeerNetwork, ReconnectPolicy
+from repro.net.wire import (ROLE_CLIENT, ROLE_CONTROL, ROLE_NAMES, ROLE_REPLICA,
+                            ClientReply, ClientRequest, Hello, StatsReply,
+                            StatsRequest)
+from repro.runtime.registry import WIRE
+from repro.sim.costs import zero_cost_model
+
+
+@dataclass
+class ReplicaConfig:
+    """Everything one replica process needs to join a cluster.
+
+    Attributes:
+        node_id: this replica's id (must be a key of ``peers``).
+        peers: replica id -> ``(host, port)`` listen address for the whole
+            cluster, this replica included.
+        protocol: name in :data:`~repro.harness.cluster.PROTOCOLS`.
+        seed: seed for the replica's deterministic RNG forks (same labels as
+            the simulator, so stochastic choices match across substrates).
+        retransmit: master switch for the kernel retransmission layer; keep
+            it on — over TCP it is what recovers messages dropped while a
+            peer was down.
+        recovery: enable the protocol's recovery machinery (failure detector
+            + recovery proposals), as ``--recovery`` does in the simulator.
+        protocol_options: extra builder options, merged after the
+            ``recovery`` translation (same semantics as the experiment
+            harness).
+    """
+
+    node_id: int
+    peers: Dict[int, Tuple[str, int]]
+    protocol: str = "caesar"
+    seed: int = 0
+    retransmit: bool = True
+    recovery: bool = False
+    protocol_options: Dict[str, object] = field(default_factory=dict)
+
+    def protocol_builder_options(self) -> Dict[str, object]:
+        """Translate generic settings into per-protocol builder options."""
+        options = dict(self.protocol_options)
+        if self.protocol == "caesar":
+            if options.get("config") is None:
+                from repro.core.caesar import CaesarConfig
+
+                options["config"] = CaesarConfig(recovery_enabled=self.recovery)
+        elif self.protocol in ("epaxos", "multipaxos"):
+            options.setdefault("recovery_enabled", self.recovery)
+        return options
+
+
+class ReplicaServer:
+    """A protocol replica listening on a TCP socket (see module docstring).
+
+    Args:
+        config: the replica's identity, peer map and protocol settings.
+        server_socket: optional pre-bound listening socket (used by the
+            in-process loopback harness to bind port 0 before peer maps are
+            exchanged); when omitted the server binds the address from the
+            peer map.
+        reconnect: outbound dial/backoff policy override.
+    """
+
+    def __init__(self, config: ReplicaConfig, *, server_socket=None,
+                 reconnect: Optional[ReconnectPolicy] = None) -> None:
+        self.config = config
+        self._server_socket = server_socket
+        self._reconnect = reconnect
+        self.clock: Optional[WallClock] = None
+        self.network: Optional[PeerNetwork] = None
+        self.replica = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._accepted: set = set()
+        self._started = False
+        self._closed = False
+
+    async def start(self) -> None:
+        """Build the replica and start listening + dialing (call once)."""
+        if self._started:
+            return
+        self._started = True
+        # Baseline protocol builders register themselves at import time.
+        from repro.harness import protocols as _protocols  # noqa: F401
+        from repro.harness.cluster import PROTOCOLS
+
+        config = self.config
+        if config.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {config.protocol!r}; "
+                             f"known: {sorted(PROTOCOLS)}")
+        loop = asyncio.get_running_loop()
+        self.clock = WallClock(seed=config.seed, loop=loop)
+        self.network = PeerNetwork(self.clock, config.node_id, config.peers,
+                                   reconnect=self._reconnect)
+        quorums = QuorumSystem.for_cluster(len(config.peers))
+        builder = PROTOCOLS[config.protocol]
+        self.replica = builder(config.node_id, self.clock, self.network, quorums,
+                               config.protocol_builder_options(), zero_cost_model())
+        if not config.retransmit:
+            configure = getattr(self.replica, "configure_retransmit", None)
+            if configure is not None:
+                configure(enabled=False)
+        if self._server_socket is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._server_socket)
+        else:
+            host, port = config.peers[config.node_id]
+            self._server = await asyncio.start_server(self._on_connection, host, port)
+        self.replica.transport.start()
+        self.replica.start()
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Serve one accepted connection until EOF / error."""
+        decoder = FrameDecoder()
+        hello: Optional[Hello] = None
+        self._accepted.add(writer)
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    break
+                for payload in decoder.feed(data):
+                    message = WIRE.decode_one(payload)
+                    if hello is None:
+                        if not isinstance(message, Hello):
+                            raise FramingError(
+                                f"first frame must be Hello, got {type(message).__name__}")
+                        hello = message
+                        continue
+                    self._dispatch(hello, message, writer)
+        except (ConnectionError, FramingError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._accepted.discard(writer)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    def _dispatch(self, hello: Hello, message: object,
+                  writer: asyncio.StreamWriter) -> None:
+        """Route one decoded frame according to the connection's role."""
+        if isinstance(message, StatsRequest):
+            reply = StatsReply(sender=self.config.node_id,
+                               payload=json.dumps(self.stats_payload(
+                                   include_executed=bool(message.include_executed))))
+            writer.write(encode_frame(WIRE.encode(reply)))
+            return
+        if hello.role == ROLE_REPLICA:
+            self.network.deliver_local(hello.sender, message)
+            return
+        if hello.role == ROLE_CLIENT and isinstance(message, ClientRequest):
+            self._submit(message.command, writer)
+            return
+        raise FramingError(f"unexpected {type(message).__name__} on a "
+                           f"{ROLE_NAMES.get(hello.role, hello.role)} connection")
+
+    def _submit(self, command, writer: asyncio.StreamWriter) -> None:
+        """Submit a client command; answer on ``writer`` once executed."""
+
+        def on_executed(result) -> None:
+            if writer.is_closing():
+                return
+            reply = ClientReply(command_id=command.command_id, value=result.value)
+            try:
+                writer.write(encode_frame(WIRE.encode(reply)))
+            except (ConnectionError, RuntimeError):
+                pass
+
+        self.replica.submit(command, callback=on_executed)
+
+    def stats_payload(self, include_executed: bool = False) -> Dict[str, object]:
+        """Statistics snapshot mirroring the simulator harness report shapes."""
+        replica = self.replica
+        stats = self.network.stats
+        payload: Dict[str, object] = {
+            "node_id": self.config.node_id,
+            "protocol": self.config.protocol,
+            "uptime_ms": self.clock.now,
+            "commands_executed": replica.commands_executed,
+            "messages_handled": replica.messages_handled,
+            "stats": dict(replica.stats.non_zero()),
+            "network": {
+                "messages_sent": stats.messages_sent,
+                "messages_delivered": stats.messages_delivered,
+                "messages_dropped": stats.messages_dropped,
+                "bytes_sent": stats.bytes_sent,
+                "codec_bytes_sent": stats.codec_bytes_sent,
+                "per_type_codec_bytes": dict(stats.per_type_codec_bytes),
+            },
+        }
+        if include_executed:
+            payload["executed"] = [list(c.command_id) for c in replica.execution_log]
+        return payload
+
+    @property
+    def port(self) -> int:
+        """The port the server is actually listening on (after :meth:`start`)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    def crash(self) -> None:
+        """Mark the hosted replica crashed (in-process fault injection)."""
+        self.replica.crash()
+
+    async def stop(self) -> None:
+        """Stop listening, tear down peer connections (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._accepted):
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+        self._accepted.clear()
+        if self.replica is not None:
+            self.replica.transport.close()
+
+
+async def serve_replica(config: ReplicaConfig,
+                        ready: Optional[Callable[[ReplicaServer], None]] = None,
+                        stop_event: Optional[asyncio.Event] = None) -> None:
+    """Run one replica until ``stop_event`` is set (or forever)."""
+    server = ReplicaServer(config)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        if stop_event is None:
+            await asyncio.Event().wait()
+        else:
+            await stop_event.wait()
+    finally:
+        await server.stop()

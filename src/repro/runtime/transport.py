@@ -1,57 +1,119 @@
 """The transport seam between protocol replicas and the world.
 
-Replicas talk to a :class:`Transport`, never to the simulated network
-directly: the transport owns outgoing batching (generalizing the Figure 9b
-batching to every protocol) and codec-backed wire accounting, and can be
-swapped for a different backend without touching protocol code.  The
-simulator-backed :class:`SimulatorTransport` is the first (and default)
-backend; a real-socket transport would implement the same small interface.
+Replicas talk to a :class:`Transport`, never to the network directly: the
+transport owns outgoing I/O, batching, and the replica's timer service, and
+can be swapped for a different backend without touching protocol code.  Two
+backends implement the contract:
 
-Wire accounting: when the network's
-:attr:`~repro.sim.network.NetworkConfig.wire_accounting` flag is set, every
-transmitted message (or batch envelope) is also measured through the message
-registry's codec and accumulated into the network's ``codec_bytes_sent`` /
-``per_type_codec_bytes`` counters.  This is what the message-footprint
-benchmark reports: bytes as they would appear on a real wire, not per-field
-estimates.  The flag defaults to off so the measurement never taxes the
-simulation hot path.
+* :class:`SimulatorTransport` — messages and timers go through the shared
+  discrete-event :class:`~repro.sim.network.Network` / simulator (the
+  oracle: deterministic, seedable, byte-identical across runs);
+* :class:`~repro.net.transport.AsyncioTransport` — the same wire messages
+  travel length-prefixed over real TCP sockets between replica processes,
+  and timers map onto the asyncio event loop (the measurement path).
+
+Lifecycle contract
+------------------
+
+Every transport moves through the same three phases, verified for both
+backends by one conformance suite (``tests/test_transport_contract.py``):
+
+1. **construction** — the transport is bound to its owning replica; no I/O
+   happens yet, but :attr:`Transport.node_ids` and timers must already work
+   (protocols arm timers from their constructors).
+2. **started** — after :meth:`Transport.start`, ``send`` / ``broadcast``
+   deliver (or begin attempting to deliver) messages.  ``start`` is
+   idempotent.  Calling ``send`` before ``start`` must not raise: the
+   simulator backend is always live, the socket backend queues or drops
+   until its connections establish — exactly the semantics of a real
+   datacenter boot.
+3. **closed** — after :meth:`Transport.close`, no further delivery is
+   attempted and all transport-owned resources (connections, pending
+   timers it manages internally) are released.  ``close`` is idempotent;
+   ``send`` after ``close`` is a silent no-op (a crashed process cannot
+   observe its own lost sends).
+
+Timer service
+-------------
+
+``set_timer(delay_ms, callback)`` returns a :class:`~repro.runtime.clock.Timer`
+and ``cancel_timer(timer)`` cancels one; the owning node applies clock skew
+and crash-gating *before* delegating here, so transports only translate a
+plain delay onto their clock (event heap or event loop).  Timers are how the
+kernel's retransmission scans and catch-up probes run identically on both
+substrates.
+
+Wire accounting
+---------------
+
+When the network's :attr:`~repro.sim.network.NetworkConfig.wire_accounting`
+flag is set, every transmitted message (or batch envelope) is also measured
+through the message registry's codec and accumulated into the network's
+``codec_bytes_sent`` / ``per_type_codec_bytes`` counters.  This is what the
+message-footprint benchmark reports: bytes as they would appear on a real
+wire, not per-field estimates.  The flag defaults to off so the measurement
+never taxes the simulation hot path.  (The socket backend encodes every
+message anyway, so it always accounts real bytes.)
 """
 
 from __future__ import annotations
 
+import abc
 from typing import Dict, List, Optional
 
+from repro.runtime.clock import Timer
 from repro.runtime.registry import WIRE
 from repro.sim.batching import BatchBuffer, BatchingConfig
 
 
-class Transport:
-    """Interface a replica uses for all outgoing communication.
+class Transport(abc.ABC):
+    """Interface a replica uses for all outgoing communication and timers.
 
-    Implementations must deliver ``send`` asynchronously and may coalesce
-    messages (batching); ``flush_all`` forces out anything buffered.
+    See the module docstring for the full lifecycle contract.  Implementations
+    must deliver ``send`` asynchronously (never re-entrantly into the
+    caller's handler) and may coalesce messages (batching); ``flush_all``
+    forces out anything buffered.
     """
 
     @property
+    @abc.abstractmethod
     def node_ids(self) -> List[int]:
         """Ids of every reachable peer (including the local node)."""
-        raise NotImplementedError
 
+    def start(self) -> None:
+        """Begin delivering messages (idempotent; no-op for always-live backends)."""
+
+    @abc.abstractmethod
     def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
-        """Queue ``message`` for delivery to ``dst``."""
-        raise NotImplementedError
+        """Queue ``message`` for delivery to ``dst`` (silently dropped after close)."""
 
+    @abc.abstractmethod
     def broadcast(self, message: object, include_self: bool = True,
                   size_bytes: int = 64) -> None:
         """Send ``message`` to every peer (optionally excluding the local node)."""
-        raise NotImplementedError
+
+    @abc.abstractmethod
+    def set_timer(self, delay_ms: float, callback) -> Timer:
+        """Run ``callback`` after ``delay_ms`` on this transport's clock."""
+
+    def cancel_timer(self, timer: Timer) -> None:
+        """Cancel a timer returned by :meth:`set_timer` (idempotent)."""
+        timer.cancel()
 
     def configure_batching(self, config: BatchingConfig) -> None:
-        """Install (or replace) an outgoing batching policy."""
-        raise NotImplementedError
+        """Install (or replace) an outgoing batching policy.
+
+        Optional capability: backends without batching raise
+        ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support outgoing batching")
 
     def flush_all(self) -> None:
         """Transmit anything held back by batching (no-op without batching)."""
+
+    def close(self) -> None:
+        """Release transport-owned resources (idempotent; sends become no-ops)."""
 
 
 class SimulatorTransport(Transport):
@@ -62,7 +124,7 @@ class SimulatorTransport(Transport):
     messages bypass batching (they never cross a real wire).
 
     Args:
-        node: the owning node (supplies ``node_id`` and ``set_timer``).
+        node: the owning node (supplies ``node_id`` and the simulator clock).
         network: the shared simulated network.
         batching: optional batching policy; ``None`` sends eagerly.
     """
@@ -74,6 +136,7 @@ class SimulatorTransport(Transport):
         self._buffer = BatchBuffer(batching) if batching is not None else None
         self._flush_scheduled: Dict[int, bool] = {}
         self.measure_wire = bool(getattr(network.config, "wire_accounting", False))
+        self._closed = False
         #: fault-filter seam: when installed (chaos runs only), every outgoing
         #: wire message is offered to the filter first, which may absorb it
         #: (partition/drop), duplicate it or delay it.  ``None`` costs one
@@ -109,8 +172,14 @@ class SimulatorTransport(Transport):
         """
         self._fault_filter = faults
 
+    def set_timer(self, delay_ms: float, callback) -> Timer:
+        """Schedule ``callback`` on the shared simulator's virtual clock."""
+        return Timer(self.node.sim.schedule(delay_ms, callback))
+
     def send(self, dst: int, message: object, size_bytes: int = 64) -> None:
         """Send or buffer one message (self-sends are never delayed)."""
+        if self._closed:
+            return
         if self._buffer is None or dst == self._node_id:
             # Eager path, inlined: this is every message of every non-batched
             # experiment.
@@ -144,6 +213,13 @@ class SimulatorTransport(Transport):
             return
         for dst in self._buffer.destinations():
             self._flush_destination(dst)
+
+    def close(self) -> None:
+        """Flush pending batches, then stop delivering."""
+        if self._closed:
+            return
+        self.flush_all()
+        self._closed = True
 
     def _flush_destination(self, dst: int) -> None:
         """Send the buffered batch for ``dst`` (if any) as one wire message."""

@@ -36,6 +36,20 @@ class NetworkConfig:
     min_delay_ms: float = 0.01
     wire_accounting: bool = False
 
+    @classmethod
+    def from_args(cls, args, **overrides) -> "NetworkConfig":
+        """Build a config from CLI-style args (``--jitter`` / ``--drop``).
+
+        ``args`` is any object with the optional attributes ``jitter``
+        (milliseconds) and ``drop`` (probability); keyword ``overrides`` win
+        over both.  This is the single place CLI flags become a
+        :class:`NetworkConfig`.
+        """
+        kwargs = {"jitter_ms": getattr(args, "jitter", 0.0) or 0.0,
+                  "drop_probability": getattr(args, "drop", 0.0) or 0.0}
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
 
 @dataclass
 class NetworkStats:
@@ -89,6 +103,20 @@ class Network:
         if node.node_id in self._nodes:
             raise ValueError(f"node {node.node_id} already registered")
         self._nodes[node.node_id] = node
+
+    def create_transport(self, node: "NodeLike", batching=None):
+        """Build the transport a node hosted on this network should use.
+
+        The network is the transport factory (see
+        :class:`repro.runtime.transport.Transport`): nodes built against the
+        simulated network get a
+        :class:`~repro.runtime.transport.SimulatorTransport`, nodes built
+        against a socket-world peer map get an asyncio one — protocol code
+        never chooses a backend.
+        """
+        from repro.runtime.transport import SimulatorTransport
+
+        return SimulatorTransport(node, self, batching)
 
     def node(self, node_id: int) -> "NodeLike":
         """Return the registered node with the given id."""

@@ -20,28 +20,14 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.runtime.clock import Timer
 from repro.runtime.transport import SimulatorTransport, Transport
 from repro.sim.batching import BatchingConfig, MessageBatch
 from repro.sim.costs import CostModel
-from repro.sim.events import Event
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
 
-
-class Timer:
-    """Handle for a scheduled timer, cancellable before it fires."""
-
-    def __init__(self, event: Event) -> None:
-        self._event = event
-
-    def cancel(self) -> None:
-        """Prevent the timer callback from running."""
-        self._event.cancel()
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
-        return self._event.cancelled
+__all__ = ["Node", "Timer"]
 
 
 class Node:
@@ -73,7 +59,15 @@ class Node:
         self._cpu_free_at = 0.0
         self.cpu_busy_ms = 0.0
         self.messages_handled = 0
-        self.transport = transport or SimulatorTransport(self, network, batching)
+        if transport is None:
+            # The network acts as the transport factory: the simulated
+            # Network hands out SimulatorTransports, a socket-world peer map
+            # hands out AsyncioTransports — so protocol constructors never
+            # name a backend.
+            factory = getattr(network, "create_transport", None)
+            transport = (factory(self, batching) if factory is not None
+                         else SimulatorTransport(self, network, batching))
+        self.transport = transport
         network.register(self)
 
     @property
@@ -175,14 +169,16 @@ class Node:
         The delay is measured on the node's *local* clock: with a skewed
         ``timer_scale`` the timer fires earlier (fast clock) or later (slow
         clock) than the nominal delay.  ``timer_scale == 1.0`` multiplies
-        exactly, so unskewed schedules are bit-identical.
+        exactly, so unskewed schedules are bit-identical.  Skew and
+        crash-gating are applied here; the transport only maps the resulting
+        delay onto its clock (event heap or event loop).
         """
 
         def fire() -> None:
             if not self.crashed:
                 callback()
 
-        return Timer(self.sim.schedule(delay_ms * self.timer_scale, fire))
+        return self.transport.set_timer(delay_ms * self.timer_scale, fire)
 
     # ----------------------------------------------------------- life cycle
 

@@ -43,6 +43,10 @@ class ClosedLoopClient:
             (e.g. the replica crashed), the client re-submits a fresh command
             to another replica.
         fallback_replicas: replicas to reconnect to after a timeout.
+        max_commands: stop after completing this many commands (``None`` =
+            run until stopped).  Fixed budgets make runs comparable across
+            substrates: the oracle tests replay the identical workload
+            prefix in the simulator and over TCP.
         history: optional invocation/response tape
             (:class:`repro.chaos.history.HistoryTape`).  Every submission is
             taped as an invocation; a command abandoned after a reconnect
@@ -54,7 +58,7 @@ class ClosedLoopClient:
                  sim: Simulator, metrics: MetricsCollector, think_time_ms: float = 0.0,
                  reconnect_timeout_ms: Optional[float] = None,
                  fallback_replicas: Optional[List[ConsensusReplica]] = None,
-                 history=None) -> None:
+                 history=None, max_commands: Optional[int] = None) -> None:
         self.client_id = client_id
         self.replica = replica
         self.workload = workload
@@ -64,6 +68,7 @@ class ClosedLoopClient:
         self.reconnect_timeout_ms = reconnect_timeout_ms
         self.fallback_replicas = fallback_replicas or []
         self.history = history
+        self.max_commands = max_commands
         self.completed = 0
         self.timeouts = 0
         self._running = False
@@ -104,6 +109,9 @@ class ClosedLoopClient:
             self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
                                         latency_ms=self.sim.now - started,
                                         completed_at=self.sim.now, key=cmd.key)
+            if self.max_commands is not None and self.completed >= self.max_commands:
+                self._running = False
+                return
             if self.think_time_ms > 0:
                 self.sim.schedule(self.think_time_ms, self._submit_next)
             else:

@@ -124,3 +124,59 @@ class TestChaosCommand:
     def test_chaos_rejects_unknown_protocol(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--protocol", "raft"])
+
+
+class TestServeLoadgenParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.protocol == "caesar"
+        assert args.replicas == 3
+        assert args.host == "127.0.0.1"
+        assert args.peer is None
+        assert args.node_id is None
+
+    def test_serve_accepts_peer_map(self):
+        args = build_parser().parse_args(
+            ["serve", "--node-id", "1",
+             "--peer", "0=10.0.0.1:7000", "--peer", "1=10.0.0.2:7000"])
+        assert args.node_id == 1
+        assert args.peer == ["0=10.0.0.1:7000", "1=10.0.0.2:7000"]
+
+    def test_serve_node_id_without_peer_map_is_a_usage_error(self, capsys):
+        assert main(["serve", "--node-id", "0"]) == 2
+        assert "--peer" in capsys.readouterr().err
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.protocol == "caesar"
+        assert args.clients == 3
+        assert args.commands == 10
+        assert not args.open_loop
+        assert args.endpoint is None
+        assert args.launch is None
+
+    def test_loadgen_without_endpoints_is_a_usage_error(self, capsys):
+        assert main(["loadgen"]) == 2
+        assert "--endpoint" in capsys.readouterr().err
+
+    def test_parse_peers_roundtrip(self):
+        from repro.net.cluster import parse_peers
+
+        peers = parse_peers(["0=127.0.0.1:7000", "2=replica2.internal:7100"])
+        assert peers == {0: ("127.0.0.1", 7000), 2: ("replica2.internal", 7100)}
+
+    def test_parse_peers_rejects_malformed_entries(self):
+        from repro.net.cluster import parse_peers
+
+        with pytest.raises(ValueError):
+            parse_peers(["0:127.0.0.1=7000"])
+
+
+class TestDeprecatedAlias:
+    def test_caesar_repro_warns_then_delegates(self, capsys):
+        from repro.cli import main_deprecated
+
+        assert main_deprecated(["topology"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "virginia" in captured.out

@@ -1,0 +1,66 @@
+"""Framing layer: length prefixes, partial reads, and corrupt streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.framing import (HEADER, MAX_FRAME_BYTES, FrameDecoder,
+                               FramingError, encode_frame)
+from repro.net.wire import Hello, StatsReply
+from repro.runtime.registry import WIRE
+
+
+class TestEncodeFrame:
+    def test_prefixes_the_payload_length(self):
+        frame = encode_frame(b"abc")
+        assert frame == HEADER.pack(3) + b"abc"
+
+    def test_rejects_oversized_payloads(self):
+        with pytest.raises(FramingError):
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+class TestFrameDecoder:
+    def test_single_frame_roundtrip(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(encode_frame(b"payload"))) == [b"payload"]
+        assert decoder.buffered_bytes == 0
+
+    def test_byte_at_a_time_delivery(self):
+        """The pathological partial read: one byte per feed."""
+        decoder = FrameDecoder()
+        out = []
+        for chunk in encode_frame(b"hello"):
+            out.extend(decoder.feed(bytes([chunk])))
+        assert out == [b"hello"]
+
+    def test_many_frames_in_one_chunk(self):
+        payloads = [b"a", b"", b"ccc", b"dddd"]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        assert list(decoder.feed(stream)) == payloads
+
+    def test_frame_split_across_chunks(self):
+        stream = encode_frame(b"0123456789") + encode_frame(b"tail")
+        decoder = FrameDecoder()
+        out = list(decoder.feed(stream[:7]))
+        assert out == []
+        # The 4-byte header is consumed as soon as it is complete; the 3
+        # partial payload bytes stay buffered.
+        assert decoder.buffered_bytes == 3
+        out = list(decoder.feed(stream[7:]))
+        assert out == [b"0123456789", b"tail"]
+
+    def test_oversized_length_fails_fast(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FramingError):
+            list(decoder.feed(HEADER.pack(MAX_FRAME_BYTES + 1)))
+
+    def test_registered_messages_roundtrip_through_frames(self):
+        """The wire format is exactly: frame(registry-encoded message)."""
+        messages = [Hello(sender=3, role=1),
+                    StatsReply(sender=0, payload='{"commands_executed": 7}')]
+        stream = b"".join(encode_frame(WIRE.encode(m)) for m in messages)
+        decoder = FrameDecoder()
+        decoded = [WIRE.decode_one(p) for p in decoder.feed(stream)]
+        assert decoded == messages
