@@ -17,7 +17,10 @@ The four entry points:
 * :func:`run_chaos` — a protocol under a nemesis fault schedule, with
   linearizability checking;
 * :func:`serve_cluster` — a real multiprocess TCP cluster on this host
-  (paired with :func:`run_loadgen` to drive it).
+  (paired with :func:`run_loadgen` to drive it);
+* :func:`run_overload_sweep` — offered load swept past the saturation knee
+  on either substrate, with optional admission control
+  (:func:`admission_policy`) and persistence into a :class:`ResultsStore`.
 
 Each entry point has a config dataclass (``ExperimentConfig``,
 ``ChaosConfig``, ``ServeConfig``, ``LoadgenConfig``, plus the underlying
@@ -37,11 +40,17 @@ from repro.harness.cluster import (PROTOCOLS, Cluster, ClusterConfig,
                                    build_cluster, register_protocol)
 from repro.harness.experiment import (ExperimentConfig, ExperimentResult,
                                       run_experiment)
+from repro.harness.overload import (LoadPoint, OverloadConfig, OverloadResult,
+                                    run_overload_sweep, store_overload_result)
 from repro.harness.sweep import SweepCell, SweepResult, run_sweep, sweep_cell
+from repro.metrics.report import render_report
+from repro.metrics.store import ResultsStore, RunRecord, current_git_commit
 from repro.net.client import (LoadgenConfig, LoadgenReport, fetch_stats,
                               run_loadgen)
 from repro.net.cluster import LocalCluster, ServeConfig, serve_cluster
 from repro.net.replica import ReplicaConfig, ReplicaServer, serve_replica
+from repro.runtime.admission import (AdmissionPolicy, InflightLimit, NoAdmission,
+                                     QueueDeadline, admission_policy)
 from repro.sim.network import NetworkConfig
 from repro.workload.generator import WorkloadConfig
 
@@ -53,6 +62,7 @@ __all__ = [
     "serve_cluster",
     "run_loadgen",
     "serve_replica",
+    "run_overload_sweep",
     # configs
     "ExperimentConfig",
     "ChaosConfig",
@@ -62,6 +72,7 @@ __all__ = [
     "ServeConfig",
     "LoadgenConfig",
     "ReplicaConfig",
+    "OverloadConfig",
     # results / building blocks
     "ExperimentResult",
     "ChaosResult",
@@ -78,4 +89,17 @@ __all__ = [
     "build_cluster",
     "register_protocol",
     "fetch_stats",
+    # overload / admission / results store
+    "OverloadResult",
+    "LoadPoint",
+    "store_overload_result",
+    "AdmissionPolicy",
+    "NoAdmission",
+    "InflightLimit",
+    "QueueDeadline",
+    "admission_policy",
+    "ResultsStore",
+    "RunRecord",
+    "render_report",
+    "current_git_commit",
 ]

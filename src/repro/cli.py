@@ -13,6 +13,8 @@ deprecated alias)::
     repro chaos --matrix --quick
     repro serve --protocol caesar --replicas 3
     repro loadgen --launch 3 --clients 3 --commands 10
+    repro overload --offered 200 600 1200 --admission deadline:200 --store
+    repro report --label overload
     repro topology
 
 The CLI is a thin wrapper over :mod:`repro.api`: argument parsing lives here,
@@ -112,6 +114,29 @@ def shared_flags(protocol: Optional[str] = None, seed: int = 1,
     return parent
 
 
+def add_admission_flag(parser: argparse.ArgumentParser) -> None:
+    """Add the admission-control flag (same spec syntax on every subcommand)."""
+    parser.add_argument("--admission", default=None, metavar="SPEC",
+                        help="admission-control policy on every replica's submit "
+                             "path: 'none' (counting baseline), 'inflight:K', "
+                             "'deadline:MS' (default: no admission hook)")
+
+
+def add_store_flags(parser: argparse.ArgumentParser,
+                    label: Optional[str] = None) -> None:
+    """Add the results-store flags (``--store`` appends the run to SQLite)."""
+    from repro.metrics.store import DEFAULT_STORE_PATH
+
+    parser.add_argument("--store", nargs="?", const=str(DEFAULT_STORE_PATH),
+                        default=None, metavar="DB",
+                        help="append this run to the SQLite results store "
+                             "(default path: %(const)s)")
+    if label is not None:
+        parser.add_argument("--label", default=label,
+                            help="label the stored run is grouped under in "
+                                 "'repro report' (default: %(default)s)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -129,6 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="enable network message batching")
     run_parser.add_argument("--throughput", action="store_true",
                             help="use the saturation CPU cost model (throughput study)")
+    add_admission_flag(run_parser)
+    add_store_flags(run_parser, label="run")
 
     subparsers.add_parser(
         "compare", help="compare all protocols at given conflict rates",
@@ -170,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--stable-records", action="store_true",
                               help="omit wall-clock fields from BENCH records so identical "
                                    "sweeps serialize byte-identically")
+    add_store_flags(sweep_parser)
 
     chaos_parser = subparsers.add_parser(
         "chaos",
@@ -229,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-retransmit", action="store_true",
                               help="disable the runtime retransmission + catch-up "
                                    "layer (not recommended over real sockets)")
+    add_admission_flag(serve_parser)
 
     loadgen_parser = subparsers.add_parser(
         "loadgen",
@@ -250,13 +279,71 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="open-loop rate per client (commands/s)")
     loadgen_parser.add_argument("--duration", type=float, default=2000.0,
                                 help="open-loop injection window (real ms)")
+    loadgen_parser.add_argument("--warmup-ms", type=float, default=0.0,
+                                help="discard latency samples completing within "
+                                     "this many real ms after start")
     loadgen_parser.add_argument("--timeout", type=float, default=60.0,
                                 help="overall wall-clock budget (seconds)")
     loadgen_parser.add_argument("--json", action="store_true",
                                 help="print the report as JSON")
+    add_admission_flag(loadgen_parser)
+    add_store_flags(loadgen_parser, label="loadgen")
+
+    overload_parser = subparsers.add_parser(
+        "overload",
+        help="sweep open-loop offered load past the saturation knee and "
+             "report goodput + latency tail per point",
+        parents=[shared_flags(protocol="caesar", seed=1, clients=4,
+                              conflicts=2.0, duration=4000.0)])
+    overload_parser.add_argument("--offered", type=float, nargs="+", default=None,
+                                 metavar="RATE",
+                                 help="total offered loads to sweep, in commands/s "
+                                      "across the cluster (default: 200 400 800 1600)")
+    overload_parser.add_argument("--substrate", choices=["sim", "tcp"], default="sim",
+                                 help="run on the simulator or over real sockets")
+    overload_parser.add_argument("--warmup-ms", type=float, default=1000.0,
+                                 help="per-point warm-up window (samples discarded)")
+    overload_parser.add_argument("--replicas", type=int, default=3,
+                                 help="tcp-substrate cluster size")
+    overload_parser.add_argument("--workers", default=None,
+                                 help="sweep worker processes for the sim substrate "
+                                      "(a count or 'auto')")
+    overload_parser.add_argument("--json", action="store_true",
+                                 help="print the sweep as JSON")
+    add_admission_flag(overload_parser)
+    add_store_flags(overload_parser, label="overload")
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render run listings and cross-commit trend tables from the "
+             "results store")
+    from repro.metrics.store import DEFAULT_STORE_PATH
+
+    report_parser.add_argument("--store", default=str(DEFAULT_STORE_PATH), metavar="DB",
+                               help="results store to read (default: %(default)s)")
+    report_parser.add_argument("--kind", default=None,
+                               help="only runs of this kind (experiment, sweep, "
+                                    "loadgen, overload, bench)")
+    report_parser.add_argument("--label", default=None,
+                               help="only runs with this label")
+    report_parser.add_argument("--limit", type=int, default=20,
+                               help="newest runs per label to include")
+    report_parser.add_argument("--points", action="store_true",
+                               help="also render each overload run's per-load-point "
+                                    "saturation curve")
 
     subparsers.add_parser("topology", help="print the simulated five-site EC2 topology")
     return parser
+
+
+def _open_store(args: argparse.Namespace):
+    """Open the results store when ``--store`` was given (``None`` otherwise)."""
+    path = getattr(args, "store", None)
+    if path is None:
+        return None
+    from repro.metrics.store import ResultsStore
+
+    return ResultsStore(pathlib.Path(path))
 
 
 def _run(args: argparse.Namespace) -> str:
@@ -282,6 +369,19 @@ def _run(args: argparse.Namespace) -> str:
     counters = format_protocol_stats([replica.stats for replica in result.cluster.replicas])
     if counters:
         lines.append(counters)
+    store = _open_store(args)
+    if store is not None:
+        from repro.harness.experiment import summarize_experiment
+
+        with store:
+            run_id = store.record_run(
+                "experiment", args.label, protocol=args.protocol, substrate="sim",
+                seed=args.seed,
+                config={"conflicts": args.conflicts, "clients": args.clients,
+                        "duration_ms": args.duration, "admission": args.admission,
+                        "batching": args.batching, "throughput": args.throughput},
+                metrics=summarize_experiment(result))
+        lines.append(f"[stored as run {run_id} in {args.store}]")
     return "\n".join(lines)
 
 
@@ -371,6 +471,7 @@ def _sweep(args: argparse.Namespace) -> str:
     targets = sorted(set(targets), key=_figure_order)
     if args.list_cells:
         return _list_cells(args, targets)
+    store = _open_store(args)
     outputs = []
     for target in targets:
         driver = FIGURE_DRIVERS[target]
@@ -389,10 +490,22 @@ def _sweep(args: argparse.Namespace) -> str:
         table_path = args.out / f"sweep_{name}.txt"
         table_path.write_text(result.table + "\n")
         record_path = write_record(record, args.out, stable=args.stable_records)
+        stored = ""
+        if store is not None:
+            # The store row carries the same payload as the BENCH file and is
+            # keyed by its exact name, so the perf gate can use the latest
+            # stored row per record as its baseline.
+            run_id = store.record_run(
+                "bench", record_path.name, substrate="sim",
+                config={"figure": target, "quick": args.quick},
+                metrics=record.to_json())
+            stored = f"; stored as run {run_id}"
         outputs.append(f"{result.table}\n\n"
                        f"[sweep {target}: {len(record.series)} series, "
                        f"{record.extra['cells']} cells, wall {wall:.1f}s; "
-                       f"wrote {table_path} and {record_path}]")
+                       f"wrote {table_path} and {record_path}{stored}]")
+    if store is not None:
+        store.close()
     return "\n\n".join(outputs)
 
 
@@ -481,7 +594,8 @@ def _serve(args: argparse.Namespace) -> int:
 
         replica_config = ReplicaConfig(
             node_id=args.node_id, peers=config.peers, protocol=config.protocol,
-            seed=config.seed, retransmit=config.retransmit, recovery=config.recovery)
+            seed=config.seed, retransmit=config.retransmit, recovery=config.recovery,
+            admission=config.admission)
         host, port = config.peers[args.node_id]
         print(f"replica {args.node_id} ({config.protocol}) listening on {host}:{port}")
         try:
@@ -521,15 +635,24 @@ def _loadgen(args: argparse.Namespace) -> int:
             print("loadgen needs --endpoint entries or --launch N", file=sys.stderr)
             return 2
     try:
-        report = run_loadgen(LoadgenConfig(
-            endpoints=endpoints, clients=args.clients,
-            commands_per_client=args.commands, open_loop=args.open_loop,
-            rate_per_client=args.rate, duration_ms=args.duration,
-            conflict_rate=args.conflicts / 100.0, seed=args.seed,
-            timeout_s=args.timeout))
+        report = run_loadgen(LoadgenConfig.from_args(args, endpoints))
     finally:
         if cluster is not None:
             cluster.stop()
+    store = _open_store(args)
+    if store is not None:
+        metrics = {key: value for key, value in report.as_dict().items()
+                   if key != "per_replica"}
+        with store:
+            run_id = store.record_run(
+                "loadgen", args.label, protocol=args.protocol, substrate="tcp",
+                seed=args.seed,
+                config={"clients": args.clients, "commands": args.commands,
+                        "open_loop": args.open_loop, "rate": args.rate,
+                        "duration_ms": args.duration, "warmup_ms": args.warmup_ms,
+                        "admission": args.admission},
+                metrics=metrics)
+        print(f"[stored as run {run_id} in {args.store}]", file=sys.stderr)
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
@@ -547,6 +670,45 @@ def _loadgen(args: argparse.Namespace) -> int:
         lines.extend(f"  - {failure}" for failure in report.failures)
         print("\n".join(lines))
     return 0 if report.ok else 1
+
+
+def _overload(args: argparse.Namespace) -> str:
+    """Run the overload subcommand (offered-load sweep + optional store)."""
+    from repro.harness.overload import (OverloadConfig, run_overload_sweep,
+                                        store_overload_result)
+
+    config = OverloadConfig.from_args(args)
+    result = run_overload_sweep(config)
+    if args.json:
+        output = json.dumps({"config": {"protocol": config.protocol,
+                                        "substrate": config.substrate,
+                                        "admission": config.admission,
+                                        "offered_loads": list(config.offered_loads)},
+                             "summary": result.summary_metrics(),
+                             "points": [point.as_dict() for point in result.points]},
+                            indent=2)
+    else:
+        output = result.table()
+    store = _open_store(args)
+    if store is not None:
+        with store:
+            run_id = store_overload_result(store, result, label=args.label)
+        output += f"\n[stored as run {run_id} in {args.store}]"
+    return output
+
+
+def _report(args: argparse.Namespace) -> str:
+    """Run the report subcommand (read-only over the results store)."""
+    from repro.metrics.report import render_report
+    from repro.metrics.store import ResultsStore
+
+    path = pathlib.Path(args.store)
+    if not path.exists():
+        return (f"no results store at {path} — run a subcommand with --store "
+                "first (e.g. 'repro overload --store')")
+    with ResultsStore(path) as store:
+        return render_report(store, kind=args.kind, label=args.label,
+                             limit=args.limit, points=args.points)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -569,6 +731,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _serve(args)
     elif args.command == "loadgen":
         return _loadgen(args)
+    elif args.command == "overload":
+        output = _overload(args)
+    elif args.command == "report":
+        output = _report(args)
     elif args.command == "topology":
         output = ec2_five_sites().describe()
     else:  # pragma: no cover - argparse enforces the choices

@@ -72,8 +72,11 @@ class CommandResult:
         command_id: the command this result belongs to.
         value: value returned by the operation (previous/read value).
         executed_at: virtual time (ms) at which the origin replica executed it.
+        rejected: the replica's admission policy shed this command instead of
+            ordering it; ``value`` is ``None`` and nothing was executed.
     """
 
     command_id: CommandId
     value: Optional[str]
     executed_at: float = 0.0
+    rejected: bool = False

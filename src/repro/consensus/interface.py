@@ -162,6 +162,10 @@ class ConsensusReplica(Node):
         self.decisions: Dict[CommandId, Decision] = {}
         self._client_callbacks: Dict[CommandId, Callable[[CommandResult], None]] = {}
         self.commands_executed = 0
+        #: optional admission/backpressure policy guarding :meth:`submit`
+        #: (see :mod:`repro.runtime.admission`); ``None`` keeps the submit
+        #: path hook-free.
+        self.admission = None
         #: optional zero-argument hook fired after every local execution; the
         #: cluster harness uses it to maintain an O(1) completion counter.
         self.execution_listener: Optional[Callable[[], None]] = None
@@ -174,10 +178,19 @@ class ConsensusReplica(Node):
 
         The replica becomes the command's leader, tracks a :class:`Decision`
         record for it, and will invoke ``callback`` once the command has been
-        executed locally.
+        executed locally.  When an admission policy is installed and sheds
+        the command, ``callback`` fires immediately with a rejected result
+        and the protocol never sees the command.
         """
         if self.crashed:
             return
+        if self.admission is not None:
+            reason = self.admission.try_admit(command.command_id, self.sim.now)
+            if reason is not None:
+                if callback is not None:
+                    callback(CommandResult(command_id=command.command_id, value=None,
+                                           executed_at=self.sim.now, rejected=True))
+                return
         if callback is not None:
             self._client_callbacks[command.command_id] = callback
         self.decisions[command.command_id] = Decision(
@@ -199,6 +212,8 @@ class ConsensusReplica(Node):
         if self.execution_listener is not None:
             self.execution_listener()
         result = CommandResult(command_id=command.command_id, value=value, executed_at=self.sim.now)
+        if self.admission is not None:
+            self.admission.release(command.command_id, self.sim.now)
         decision = self.decisions.get(command.command_id)
         if decision is not None and decision.executed_at is None:
             decision.executed_at = self.sim.now

@@ -40,6 +40,10 @@ class ClusterConfig:
         retransmit: when ``False``, disable the runtime retransmission and
             catch-up layer on every replica (reproduces the pre-retransmission
             safe-but-not-live behaviour under lossy schedules).
+        admission: admission-control spec installed on every replica's submit
+            path (``"none"``, ``"inflight:K"``, ``"deadline:MS"``; see
+            :mod:`repro.runtime.admission`).  ``None`` leaves the submit path
+            hook-free.
         protocol_options: protocol-specific keyword arguments forwarded to the
             replica constructor (e.g. ``{"config": CaesarConfig(...)}`` or
             ``{"leader_id": 3}`` for Multi-Paxos).
@@ -52,6 +56,7 @@ class ClusterConfig:
     cost_model: Optional[CostModel] = None
     batching: Optional[BatchingConfig] = None
     retransmit: bool = True
+    admission: Optional[str] = None
     protocol_options: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
@@ -66,6 +71,7 @@ class ClusterConfig:
             "protocol": getattr(args, "protocol", cls.protocol),
             "seed": getattr(args, "seed", cls.seed),
             "retransmit": not getattr(args, "no_retransmit", False),
+            "admission": getattr(args, "admission", None),
             "network": NetworkConfig.from_args(args),
         }
         kwargs.update(overrides)
@@ -182,6 +188,12 @@ class Cluster:
         """Total number of command executions across live replicas."""
         return sum(r.commands_executed for r in self.replicas if not r.crashed)
 
+    def admission_snapshot(self):
+        """Aggregated admission counters across all replicas (``None`` if unset)."""
+        from repro.runtime.admission import aggregate_admission
+
+        return aggregate_admission(r.admission for r in self.replicas)
+
 
 def _build_caesar(node_id: int, sim: Simulator, network: Network, quorums: QuorumSystem,
                   options: Dict[str, object], cost_model: Optional[CostModel]) -> ConsensusReplica:
@@ -224,5 +236,10 @@ def build_cluster(config: Optional[ClusterConfig] = None) -> Cluster:
             configure = getattr(replica, "configure_retransmit", None)
             if callable(configure):
                 configure(enabled=False)
+    if config.admission is not None:
+        from repro.runtime.admission import admission_policy
+
+        for replica in replicas:
+            replica.admission = admission_policy(config.admission)
     cluster = Cluster(config, sim, network, topology, replicas)
     return cluster

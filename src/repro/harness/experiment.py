@@ -52,6 +52,10 @@ class ExperimentConfig:
         recovery: whether failure detectors / recovery machinery run.
         retransmit: run the runtime retransmission + catch-up layer (default);
             disabling it reproduces the pre-retransmission behaviour.
+        admission: admission-control spec installed on every replica
+            (``"none"``, ``"inflight:K"``, ``"deadline:MS"``; ``None`` = no
+            hook).  The overload driver uses it to bound tail latency past
+            the saturation knee.
         protocol_options: extra keyword arguments for the replica constructor.
         workload: key-pool configuration (defaults mirror the paper).
         drain_ms: extra virtual time after the measurement window to let
@@ -72,6 +76,7 @@ class ExperimentConfig:
     batching: Optional[BatchingConfig] = None
     recovery: bool = False
     retransmit: bool = True
+    admission: Optional[str] = None
     protocol_options: Dict[str, object] = field(default_factory=dict)
     workload: Optional[WorkloadConfig] = None
     drain_ms: float = 2000.0
@@ -93,6 +98,7 @@ class ExperimentConfig:
             "clients_per_site": getattr(args, "clients", cls.clients_per_site),
             "recovery": getattr(args, "recovery", False),
             "retransmit": not getattr(args, "no_retransmit", False),
+            "admission": getattr(args, "admission", None),
         }
         conflicts = getattr(args, "conflicts", None)
         if isinstance(conflicts, (int, float)):
@@ -159,6 +165,7 @@ def build_experiment_cluster(config: ExperimentConfig) -> Cluster:
                                    seed=config.seed, network=config.network,
                                    cost_model=config.cost_model, batching=config.batching,
                                    retransmit=config.retransmit,
+                                   admission=config.admission,
                                    protocol_options=_protocol_options(config))
     return build_cluster(cluster_config)
 
@@ -175,10 +182,13 @@ def attach_clients(cluster: Cluster, config: ExperimentConfig,
             workload = ConflictWorkload(client_id=client_id, origin=replica.node_id,
                                         config=workload_config, rng=rng)
             if config.open_loop:
+                fallbacks = [other for other in cluster.replicas
+                             if other.node_id != replica.node_id]
                 client = OpenLoopClient(client_id=client_id, replica=replica,
                                         workload=workload, sim=cluster.sim, metrics=metrics,
                                         rate_per_second=config.arrival_rate_per_client,
-                                        rng=rng.fork("arrivals"))
+                                        rng=rng.fork("arrivals"),
+                                        fallback_replicas=fallbacks)
             else:
                 client = ClosedLoopClient(client_id=client_id, replica=replica,
                                           workload=workload, sim=cluster.sim, metrics=metrics)
@@ -195,11 +205,16 @@ def summarize_experiment(result: ExperimentResult) -> Dict[str, object]:
     only the aggregate numbers the figure drivers plot, so the cluster and
     its full execution history never cross the process boundary.
     """
+    admission = result.cluster.admission_snapshot()
     overall = result.overall_latency
     return {
         "throughput_per_second": result.throughput_per_second,
         "mean_latency_ms": overall.mean if overall is not None else None,
+        "p50_latency_ms": overall.median if overall is not None else None,
         "p95_latency_ms": overall.p95 if overall is not None else None,
+        "p99_latency_ms": overall.p99 if overall is not None else None,
+        "p999_latency_ms": overall.p999 if overall is not None else None,
+        "admission": admission.as_dict() if admission is not None else None,
         "sample_count": overall.count if overall is not None else 0,
         "per_site_mean_latency_ms": {site: summary.mean
                                      for site, summary in result.per_site_latency.items()},

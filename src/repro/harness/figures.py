@@ -440,10 +440,10 @@ def _run_crash_timeline(config: ExperimentConfig, crash_at_ms: float = 10000.0,
     cluster.run(total_ms)
     pool.stop_all()
     cluster.run(1000.0)
+    # ``total_ms`` is a whole number of buckets, so every reported bucket
+    # spans a full second (the timeline scales a partial tail by its width).
     timeline = metrics.timeline(bucket_ms=bucket_ms, start_ms=0.0, end_ms=total_ms)
-    # The final bucket only covers the instant ``total_ms`` (plus drain
-    # completions); drop it so every reported bucket spans a full second.
-    return {"timeline": timeline[:-1]}
+    return {"timeline": timeline}
 
 
 def figure12_failure_timeline(protocols: Sequence[str] = ("caesar", "epaxos"),

@@ -42,10 +42,14 @@ class LatencySummary:
     p99: float
     minimum: float
     maximum: float
+    #: Tail percentile for the overload/SLO study.  With fewer than 1000
+    #: samples this interpolates between the two highest order statistics
+    #: (and degenerates to the maximum for tiny inputs) instead of failing.
+    p999: float = 0.0
 
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.1f}ms median={self.median:.1f}ms "
-                f"p95={self.p95:.1f}ms p99={self.p99:.1f}ms")
+                f"p95={self.p95:.1f}ms p99={self.p99:.1f}ms p999={self.p999:.1f}ms")
 
 
 def summarize_latencies(values: Sequence[float]) -> LatencySummary:
@@ -60,19 +64,30 @@ def summarize_latencies(values: Sequence[float]) -> LatencySummary:
         p99=percentile(values, 0.99),
         minimum=min(values),
         maximum=max(values),
+        p999=percentile(values, 0.999),
     )
 
 
 def throughput_timeline(completion_times_ms: Sequence[float], bucket_ms: float = 1000.0,
-                        start_ms: float = 0.0,
-                        end_ms: float | None = None) -> List[Tuple[float, float]]:
+                        start_ms: float = 0.0, end_ms: float | None = None,
+                        drop_partial: bool = False) -> List[Tuple[float, float]]:
     """Bucket completion timestamps into a throughput time series.
+
+    The window ``[start_ms, end_ms]`` is split into ``ceil`` buckets of
+    ``bucket_ms``; the final bucket may cover less than a full ``bucket_ms``
+    and its rate is scaled by the width it actually spans, so a timeline
+    whose window is not a multiple of the bucket size reports honest
+    commands-per-second at the edge instead of diluting (or inflating) the
+    last bucket's count by the nominal width.  Samples landing exactly on
+    ``end_ms`` count toward the final bucket.
 
     Args:
         completion_times_ms: virtual times at which commands completed.
         bucket_ms: bucket width.
         start_ms: timeline origin.
         end_ms: optional timeline end; defaults to the last completion.
+        drop_partial: drop a trailing bucket narrower than ``bucket_ms``
+            instead of scaling it.
 
     Returns:
         List of ``(bucket_start_ms, commands_per_second)`` pairs.
@@ -81,15 +96,26 @@ def throughput_timeline(completion_times_ms: Sequence[float], bucket_ms: float =
         raise ValueError("bucket_ms must be positive")
     if end_ms is None:
         end_ms = max(completion_times_ms, default=start_ms)
+    n_buckets = max(1, math.ceil((end_ms - start_ms) / bucket_ms))
     buckets: Dict[int, int] = {}
     for completion in completion_times_ms:
         if completion < start_ms or completion > end_ms:
             continue
-        buckets[int((completion - start_ms) // bucket_ms)] = (
-            buckets.get(int((completion - start_ms) // bucket_ms), 0) + 1)
-    n_buckets = int((end_ms - start_ms) // bucket_ms) + 1
+        index = min(int((completion - start_ms) // bucket_ms), n_buckets - 1)
+        buckets[index] = buckets.get(index, 0) + 1
     series = []
     for index in range(n_buckets):
+        bucket_start = start_ms + index * bucket_ms
+        width = min(bucket_ms, end_ms - bucket_start)
+        if index == n_buckets - 1 and width < bucket_ms:
+            if drop_partial:
+                break
+            if width <= 0:
+                # Degenerate empty window (end == start): keep the nominal
+                # width rather than dividing by zero.
+                width = bucket_ms
+        else:
+            width = bucket_ms
         count = buckets.get(index, 0)
-        series.append((start_ms + index * bucket_ms, count * 1000.0 / bucket_ms))
+        series.append((bucket_start, count * 1000.0 / width))
     return series

@@ -82,7 +82,8 @@ class RemoteReplica:
                         callback = self._pending.pop(message.command_id, None)
                         if callback is not None:
                             callback(CommandResult(command_id=message.command_id,
-                                                   value=message.value))
+                                                   value=message.value,
+                                                   rejected=bool(message.rejected)))
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -156,6 +157,9 @@ class LoadgenConfig:
         conflict_rate: shared-key probability of the generated workload.
         seed: workload seed; the command streams equal a simulator run with
             the same seed/client count.
+        warmup_ms: real milliseconds after start during which latency samples
+            are discarded (mirrors the simulator's warm-up window; completed
+            commands still count toward closed-loop budgets).
         workload: full workload override (wins over ``conflict_rate``).
         timeout_s: overall wall-clock budget for the run.
         drain_s: extra budget for full replication after clients finish.
@@ -169,20 +173,51 @@ class LoadgenConfig:
     duration_ms: float = 2000.0
     conflict_rate: float = 0.02
     seed: int = 0
+    warmup_ms: float = 0.0
     workload: Optional[WorkloadConfig] = None
     timeout_s: float = 60.0
     drain_s: float = 10.0
 
+    @classmethod
+    def from_args(cls, args, endpoints: Dict[int, Tuple[str, int]],
+                  **overrides) -> "LoadgenConfig":
+        """Build a config from CLI args (single place flags become a config).
+
+        ``endpoints`` comes from the caller because it is resolved outside
+        the flag vocabulary (``--endpoint`` entries or a ``--launch``-ed
+        cluster's live peer map).
+        """
+        kwargs = dict(endpoints=endpoints,
+                      clients=getattr(args, "clients", 3),
+                      commands_per_client=getattr(args, "commands", 10),
+                      open_loop=getattr(args, "open_loop", False),
+                      rate_per_client=getattr(args, "rate", 50.0),
+                      duration_ms=getattr(args, "duration", 2000.0),
+                      conflict_rate=getattr(args, "conflicts", 2.0) / 100.0,
+                      seed=getattr(args, "seed", 0),
+                      warmup_ms=getattr(args, "warmup_ms", 0.0),
+                      timeout_s=getattr(args, "timeout", 60.0))
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
 
 @dataclass
 class LoadgenReport:
-    """Outcome of a :func:`run_loadgen` run."""
+    """Outcome of a :func:`run_loadgen` run.
+
+    ``throughput_per_second`` counts *completed* commands only, so with an
+    admission policy installed it is the run's goodput; ``rejected`` counts
+    commands the policy shed.
+    """
 
     submitted: int
     completed: int
+    rejected: int
     wall_seconds: float
     mean_latency_ms: Optional[float]
+    p50_latency_ms: Optional[float]
     p99_latency_ms: Optional[float]
+    p999_latency_ms: Optional[float]
     throughput_per_second: float
     per_replica: Dict[int, Dict[str, object]] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
@@ -195,9 +230,12 @@ class LoadgenReport:
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly view (CLI output / CI artifacts)."""
         return {"submitted": self.submitted, "completed": self.completed,
+                "rejected": self.rejected,
                 "wall_seconds": self.wall_seconds,
                 "mean_latency_ms": self.mean_latency_ms,
+                "p50_latency_ms": self.p50_latency_ms,
                 "p99_latency_ms": self.p99_latency_ms,
+                "p999_latency_ms": self.p999_latency_ms,
                 "throughput_per_second": self.throughput_per_second,
                 "ok": self.ok, "failures": list(self.failures),
                 "per_replica": {str(k): v for k, v in self.per_replica.items()}}
@@ -211,12 +249,24 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
 async def _loadgen(config: LoadgenConfig) -> LoadgenReport:
     loop = asyncio.get_running_loop()
     clock = WallClock(seed=config.seed, loop=loop)
-    metrics = MetricsCollector(warmup_ms=0.0)
+    metrics = MetricsCollector(warmup_ms=config.warmup_ms)
     workload_config = config.workload or WorkloadConfig(conflict_rate=config.conflict_rate)
     replica_ids = sorted(config.endpoints)
     failures: List[str] = []
 
     remotes: List[RemoteReplica] = []
+    # Open-loop failover targets: one shared connection per replica, handed
+    # to every client as its fallback set.  Command ids are globally unique,
+    # so a shared connection routes each reply to the right callback.
+    fallback_remotes: Dict[int, RemoteReplica] = {}
+    if config.open_loop and len(replica_ids) > 1:
+        for replica_id in replica_ids:
+            host, port = config.endpoints[replica_id]
+            fallback = RemoteReplica(replica_id, host, port,
+                                     client_id=config.clients + replica_id)
+            await fallback.connect()
+            fallback_remotes[replica_id] = fallback
+            remotes.append(fallback)
     pool = ClientPool()
     base_rng = DeterministicRandom(config.seed)
     for client_id in range(config.clients):
@@ -232,10 +282,13 @@ async def _loadgen(config: LoadgenConfig) -> LoadgenReport:
                                     config=workload_config,
                                     rng=base_rng.fork(f"client-{client_id}"))
         if config.open_loop:
+            fallbacks = [fallback_remotes[other] for other in replica_ids
+                         if other != replica_id and other in fallback_remotes]
             pool.add(OpenLoopClient(client_id, remote, workload, clock, metrics,
                                     rate_per_second=config.rate_per_client,
                                     rng=base_rng.fork(f"arrivals-{client_id}"),
-                                    stop_after_ms=config.duration_ms))
+                                    stop_after_ms=config.duration_ms,
+                                    fallback_replicas=fallbacks))
         else:
             pool.add(ClosedLoopClient(client_id, remote, workload, clock, metrics,
                                       max_commands=config.commands_per_client))
@@ -251,16 +304,21 @@ async def _loadgen(config: LoadgenConfig) -> LoadgenReport:
                and any(remote.outstanding for remote in remotes)):
             await asyncio.sleep(0.05)
     else:
+        # Shed commands consume their loop slot (the client moves on), so the
+        # budget is met once every slot is answered — completed or rejected.
         expected = config.clients * config.commands_per_client
-        while loop.time() < deadline and pool.total_completed < expected:
+        while (loop.time() < deadline
+               and pool.total_completed + pool.total_rejected < expected):
             await asyncio.sleep(0.05)
-        if pool.total_completed < expected:
-            failures.append(f"timeout: {pool.total_completed}/{expected} commands "
-                            f"completed within {config.timeout_s:.0f}s")
+        answered = pool.total_completed + pool.total_rejected
+        if answered < expected:
+            failures.append(f"timeout: {answered}/{expected} commands "
+                            f"answered within {config.timeout_s:.0f}s")
     wall_seconds = loop.time() - started_at
     submitted = (sum(client.submitted for client in pool.clients) if config.open_loop
-                 else pool.total_completed)
+                 else pool.total_completed + pool.total_rejected)
     completed = pool.total_completed
+    rejected = pool.total_rejected
     for remote in remotes:
         await remote.close()
 
@@ -268,9 +326,12 @@ async def _loadgen(config: LoadgenConfig) -> LoadgenReport:
 
     summary = metrics.summary()
     return LoadgenReport(
-        submitted=submitted, completed=completed, wall_seconds=wall_seconds,
+        submitted=submitted, completed=completed, rejected=rejected,
+        wall_seconds=wall_seconds,
         mean_latency_ms=summary.mean if summary else None,
+        p50_latency_ms=summary.median if summary else None,
         p99_latency_ms=summary.p99 if summary else None,
+        p999_latency_ms=summary.p999 if summary else None,
         throughput_per_second=completed / wall_seconds if wall_seconds > 0 else 0.0,
         per_replica=per_replica, failures=failures)
 

@@ -38,6 +38,8 @@ class ServeConfig:
             localhost ports.
         retransmit: kernel retransmission master switch.
         recovery: enable protocol recovery machinery.
+        admission: admission-control spec installed on every replica
+            (``"none"``, ``"inflight:K"``, ``"deadline:MS"``).
     """
 
     protocol: str = "caesar"
@@ -47,6 +49,7 @@ class ServeConfig:
     peers: Optional[Dict[int, Tuple[str, int]]] = None
     retransmit: bool = True
     recovery: bool = False
+    admission: Optional[str] = None
 
     @classmethod
     def from_args(cls, args, **overrides) -> "ServeConfig":
@@ -57,7 +60,8 @@ class ServeConfig:
                       host=getattr(args, "host", "127.0.0.1"),
                       peers=parse_peers(getattr(args, "peer", None) or []),
                       retransmit=not getattr(args, "no_retransmit", False),
-                      recovery=getattr(args, "recovery", False))
+                      recovery=getattr(args, "recovery", False),
+                      admission=getattr(args, "admission", None))
         if kwargs["peers"] is not None:
             kwargs["replicas"] = len(kwargs["peers"])
         kwargs.update(overrides)
@@ -225,7 +229,8 @@ def build_local_cluster(config: ServeConfig) -> LocalCluster:
         node_id: ReplicaConfig(node_id=node_id, peers=peers,
                                protocol=config.protocol, seed=config.seed,
                                retransmit=config.retransmit,
-                               recovery=config.recovery)
+                               recovery=config.recovery,
+                               admission=config.admission)
         for node_id in peers}
     return LocalCluster(config=config, peers=peers, replica_configs=replica_configs)
 

@@ -55,6 +55,9 @@ class ReplicaConfig:
             peer was down.
         recovery: enable the protocol's recovery machinery (failure detector
             + recovery proposals), as ``--recovery`` does in the simulator.
+        admission: admission-control spec guarding the client submit path
+            (``"none"``, ``"inflight:K"``, ``"deadline:MS"``; ``None`` = no
+            hook) — same policies the simulator harness installs.
         protocol_options: extra builder options, merged after the
             ``recovery`` translation (same semantics as the experiment
             harness).
@@ -66,6 +69,7 @@ class ReplicaConfig:
     seed: int = 0
     retransmit: bool = True
     recovery: bool = False
+    admission: Optional[str] = None
     protocol_options: Dict[str, object] = field(default_factory=dict)
 
     def protocol_builder_options(self) -> Dict[str, object]:
@@ -131,6 +135,10 @@ class ReplicaServer:
             configure = getattr(self.replica, "configure_retransmit", None)
             if configure is not None:
                 configure(enabled=False)
+        if config.admission is not None:
+            from repro.runtime.admission import admission_policy
+
+            self.replica.admission = admission_policy(config.admission)
         if self._server_socket is not None:
             self._server = await asyncio.start_server(
                 self._on_connection, sock=self._server_socket)
@@ -194,7 +202,8 @@ class ReplicaServer:
         def on_executed(result) -> None:
             if writer.is_closing():
                 return
-            reply = ClientReply(command_id=command.command_id, value=result.value)
+            reply = ClientReply(command_id=command.command_id, value=result.value,
+                                rejected=int(result.rejected))
             try:
                 writer.write(encode_frame(WIRE.encode(reply)))
             except (ConnectionError, RuntimeError):
@@ -213,6 +222,9 @@ class ReplicaServer:
             "commands_executed": replica.commands_executed,
             "messages_handled": replica.messages_handled,
             "stats": dict(replica.stats.non_zero()),
+            "admission": (replica.admission.stats.as_dict()
+                          | {"policy": replica.admission.describe()}
+                          if replica.admission is not None else None),
             "network": {
                 "messages_sent": stats.messages_sent,
                 "messages_delivered": stats.messages_delivered,

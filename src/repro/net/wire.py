@@ -64,13 +64,18 @@ class ClientRequest:
     command: Command
 
 
-@register_message(command_id=COMMAND_ID, value=OptionalCodec(STRING))
+@register_message(command_id=COMMAND_ID, value=OptionalCodec(STRING), rejected=UINT)
 @dataclass(frozen=True, slots=True)
 class ClientReply:
-    """The executed command's result, sent on the submitting connection."""
+    """The executed command's result, sent on the submitting connection.
+
+    ``rejected`` (0/1) marks replies produced by the replica's admission
+    policy shedding the command instead of ordering it.
+    """
 
     command_id: Tuple[int, int]
     value: Optional[str] = None
+    rejected: int = 0
 
 
 @register_message(sender=UINT, include_executed=UINT)

@@ -52,7 +52,13 @@ class ClosedLoopClient:
             taped as an invocation; a command abandoned after a reconnect
             timeout stays *pending* on the tape — the protocol may still
             execute it, and the linearizability checker accounts for that.
+        rejection_backoff_ms: pause before resubmitting after an admission
+            rejection.  Rejections are delivered in the same virtual instant
+            as the submit, so retrying immediately would spin (and recurse)
+            without ever letting the replica's queue drain.
     """
+
+    rejection_backoff_ms = 1.0
 
     def __init__(self, client_id: int, replica: ConsensusReplica, workload: ConflictWorkload,
                  sim: Simulator, metrics: MetricsCollector, think_time_ms: float = 0.0,
@@ -70,6 +76,7 @@ class ClosedLoopClient:
         self.history = history
         self.max_commands = max_commands
         self.completed = 0
+        self.rejected = 0
         self.timeouts = 0
         self._running = False
         self._outstanding_seq: Optional[int] = None
@@ -105,14 +112,23 @@ class ClosedLoopClient:
             if self._outstanding_seq != cmd.command_id[1]:
                 return  # A reconnection already replaced this command.
             self._outstanding_seq = None
-            self.completed += 1
-            self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
-                                        latency_ms=self.sim.now - started,
-                                        completed_at=self.sim.now, key=cmd.key)
-            if self.max_commands is not None and self.completed >= self.max_commands:
+            if result.rejected:
+                # Admission control shed the command; it still consumes the
+                # loop slot (the client moves on) but is no latency sample.
+                self.rejected += 1
+            else:
+                self.completed += 1
+                self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
+                                            latency_ms=self.sim.now - started,
+                                            completed_at=self.sim.now, key=cmd.key)
+            if (self.max_commands is not None
+                    and self.completed + self.rejected >= self.max_commands):
                 self._running = False
                 return
-            if self.think_time_ms > 0:
+            if result.rejected:
+                self.sim.schedule(max(self.think_time_ms, self.rejection_backoff_ms),
+                                  self._submit_next)
+            elif self.think_time_ms > 0:
                 self.sim.schedule(self.think_time_ms, self._submit_next)
             else:
                 self._submit_next()
@@ -147,6 +163,10 @@ class OpenLoopClient:
         rate_per_second: average injection rate.
         rng: random stream for exponential inter-arrival times.
         stop_after_ms: stop injecting after this much virtual time (optional).
+        fallback_replicas: replicas to fail over to when the current target
+            crashes; like :class:`ClosedLoopClient`, the client rewrites
+            ``command.origin`` after a retarget so per-origin latency stays
+            attributed to the replica that actually served the command.
         history: optional invocation/response tape (see
             :class:`ClosedLoopClient`).
     """
@@ -154,6 +174,7 @@ class OpenLoopClient:
     def __init__(self, client_id: int, replica: ConsensusReplica, workload: ConflictWorkload,
                  sim: Simulator, metrics: MetricsCollector, rate_per_second: float,
                  rng: DeterministicRandom, stop_after_ms: Optional[float] = None,
+                 fallback_replicas: Optional[List[ConsensusReplica]] = None,
                  history=None) -> None:
         self.client_id = client_id
         self.replica = replica
@@ -163,9 +184,12 @@ class OpenLoopClient:
         self.rate_per_second = rate_per_second
         self.rng = rng
         self.stop_after_ms = stop_after_ms
+        self.fallback_replicas = fallback_replicas or []
         self.history = history
         self.submitted = 0
         self.completed = 0
+        self.rejected = 0
+        self.retargets = 0
         self._running = False
         self._started_at = 0.0
 
@@ -193,9 +217,21 @@ class OpenLoopClient:
                 and self.sim.now - self._started_at >= self.stop_after_ms):
             self._running = False
             return
+        if self.replica.crashed:
+            # Fail over instead of injecting into a dead replica forever
+            # (the open-loop twin of ClosedLoopClient._maybe_reconnect).
+            live = [replica for replica in self.fallback_replicas if not replica.crashed]
+            if live:
+                self.replica = live[0]
+                self.retargets += 1
         command = self.workload.next_command()
+        if command.origin != self.replica.node_id:
+            # Rewrite the origin after a retarget so per-origin latency is
+            # attributed to the replica that actually proposed the command.
+            command = dataclasses.replace(command, origin=self.replica.node_id)
         submitted_at = self.sim.now
         self.submitted += 1
+        proposer = self.replica.node_id
         taped = (self.history.invoke(self.client_id, command.key, command.operation,
                                      command.value)
                  if self.history is not None else None)
@@ -204,8 +240,11 @@ class OpenLoopClient:
                       started: float = submitted_at) -> None:
             if taped is not None:
                 self.history.respond(taped, result.value)
+            if result.rejected:
+                self.rejected += 1
+                return
             self.completed += 1
-            self.metrics.record_command(origin=cmd.origin, proposer=self.replica.node_id,
+            self.metrics.record_command(origin=cmd.origin, proposer=proposer,
                                         latency_ms=self.sim.now - started,
                                         completed_at=self.sim.now, key=cmd.key)
 
@@ -237,3 +276,14 @@ class ClientPool:
     def total_completed(self) -> int:
         """Total commands completed across the pool."""
         return sum(client.completed for client in self.clients)
+
+    @property
+    def total_rejected(self) -> int:
+        """Total commands shed by admission control across the pool."""
+        return sum(getattr(client, "rejected", 0) for client in self.clients)
+
+    @property
+    def total_submitted(self) -> int:
+        """Total commands submitted (open-loop clients only track this)."""
+        return sum(getattr(client, "submitted", client.completed)
+                   for client in self.clients)

@@ -171,6 +171,76 @@ class TestServeLoadgenParser:
         with pytest.raises(ValueError):
             parse_peers(["0:127.0.0.1=7000"])
 
+    def test_loadgen_warmup_flag_reaches_the_config(self):
+        # Regression: loadgen used to hardwire MetricsCollector(warmup_ms=0)
+        # so TCP percentiles always included cold-start samples.
+        from repro.net.client import LoadgenConfig
+
+        args = build_parser().parse_args(["loadgen", "--warmup-ms", "250"])
+        assert args.warmup_ms == 250.0
+        config = LoadgenConfig.from_args(args, endpoints={0: ("127.0.0.1", 7000)})
+        assert config.warmup_ms == 250.0
+
+    def test_loadgen_admission_and_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--admission", "deadline:200", "--store", "/tmp/s.db"])
+        assert args.admission == "deadline:200"
+        assert args.store == "/tmp/s.db"
+
+
+class TestOverloadReportCommands:
+    def test_overload_defaults(self):
+        args = build_parser().parse_args(["overload"])
+        assert args.protocol == "caesar"
+        assert args.substrate == "sim"
+        assert args.offered is None
+        assert args.warmup_ms == 1000.0
+        assert args.admission is None
+        assert args.store is None
+
+    def test_overload_rejects_unknown_substrate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overload", "--substrate", "udp"])
+
+    def test_report_defaults_to_the_shared_store(self):
+        from repro.metrics.store import DEFAULT_STORE_PATH
+
+        args = build_parser().parse_args(["report"])
+        assert args.store == str(DEFAULT_STORE_PATH)
+        assert args.limit == 20
+        assert not args.points
+
+    def test_report_on_a_missing_store_is_friendly(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "absent.db")]) == 0
+        assert "no results store" in capsys.readouterr().out
+
+    def test_overload_store_report_end_to_end(self, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        code = main(["overload", "--offered", "120", "--duration", "500",
+                     "--warmup-ms", "100", "--clients", "2",
+                     "--store", str(store), "--label", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overload sweep" in out
+        assert "[stored as run 1" in out
+        assert store.exists()
+        assert main(["report", "--store", str(store), "--points"]) == 0
+        report = capsys.readouterr().out
+        assert "smoke" in report
+        assert "offered/s" in report
+
+    def test_overload_json_output(self, capsys):
+        code = main(["overload", "--offered", "120", "--duration", "400",
+                     "--warmup-ms", "100", "--clients", "2", "--json"])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["protocol"] == "caesar"
+        assert payload["summary"]["points"] == 1
+        assert len(payload["points"]) == 1
+        assert payload["points"][0]["offered_per_second"] == 120.0
+
 
 class TestDeprecatedAlias:
     def test_caesar_repro_warns_then_delegates(self, capsys):

@@ -66,6 +66,26 @@ class TestSummaries:
         text = str(summarize_latencies([5.0, 15.0]))
         assert "mean=10.0ms" in text
 
+    def test_p999_interpolates_between_top_order_statistics(self):
+        # With n=10 the 99.9th percentile sits at position 0.999 * 9 = 8.991,
+        # between the two largest samples — interpolation, not a crash or a
+        # silent clamp to the maximum.
+        summary = summarize_latencies([float(v) for v in range(1, 11)])
+        assert summary.p999 == pytest.approx(9.991)
+        assert summary.p99 <= summary.p999 <= summary.maximum
+
+    def test_p999_degenerates_to_the_sample_for_tiny_inputs(self):
+        assert summarize_latencies([42.0]).p999 == 42.0
+
+    def test_summary_str_mentions_p999(self):
+        assert "p999=" in str(summarize_latencies([5.0, 15.0]))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                              allow_subnormal=False), min_size=1, max_size=200))
+    def test_p999_dominates_p99(self, values):
+        summary = summarize_latencies(values)
+        assert summary.p99 <= summary.p999 <= summary.maximum
+
 
 class TestThroughputTimeline:
     def test_buckets_counted_per_second(self):
@@ -87,6 +107,31 @@ class TestThroughputTimeline:
                                      end_ms=2000.0)
         assert sum(rate for _, rate in series) == pytest.approx(1.0)
 
+    def test_partial_last_bucket_scaled_by_actual_width(self):
+        # Regression: a 2.5s window with 1s buckets leaves a 500ms-wide final
+        # bucket.  Its 3 completions are 6 commands/second over the width it
+        # actually spans — dividing by the nominal 1000ms used to dilute the
+        # edge of every timeline whose window was not a bucket multiple.
+        completions = [2100.0, 2200.0, 2400.0]
+        series = throughput_timeline(completions, bucket_ms=1000.0, end_ms=2500.0)
+        assert [start for start, _ in series] == [0.0, 1000.0, 2000.0]
+        assert series[-1][1] == pytest.approx(6.0)
+
+    def test_sample_on_window_end_counts_in_final_bucket(self):
+        series = throughput_timeline([2500.0], bucket_ms=1000.0, end_ms=2500.0)
+        assert series[-1][1] == pytest.approx(2.0)  # 1 command over 500ms
+
+    def test_drop_partial_omits_the_trailing_sliver(self):
+        completions = [100.0, 2100.0]
+        series = throughput_timeline(completions, bucket_ms=1000.0, end_ms=2500.0,
+                                     drop_partial=True)
+        assert [start for start, _ in series] == [0.0, 1000.0]
+
+    def test_full_buckets_unaffected_by_scaling(self):
+        completions = [500.0, 1500.0]
+        series = throughput_timeline(completions, bucket_ms=1000.0, end_ms=2000.0)
+        assert series == [(0.0, 1.0), (1000.0, 1.0)]
+
 
 class TestCollector:
     def test_warmup_samples_discarded(self):
@@ -97,6 +142,20 @@ class TestCollector:
                                  key="k")
         assert collector.count == 1
         assert collector.discarded == 1
+
+    def test_sample_on_warmup_boundary_is_kept(self):
+        collector = MetricsCollector(warmup_ms=1000.0)
+        collector.record_command(origin=0, proposer=0, latency_ms=5.0,
+                                 completed_at=1000.0, key="k")
+        assert collector.count == 1
+        assert collector.discarded == 0
+
+    def test_zero_warmup_keeps_everything(self):
+        collector = MetricsCollector(warmup_ms=0.0)
+        collector.record_command(origin=0, proposer=0, latency_ms=5.0,
+                                 completed_at=0.0, key="k")
+        assert collector.count == 1
+        assert collector.discarded == 0
 
     def test_per_origin_filtering(self):
         collector = MetricsCollector()

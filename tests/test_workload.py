@@ -195,6 +195,50 @@ class TestOpenLoopClient:
         assert client.completed > 0
         assert client.completed <= client.submitted
 
+    def test_fails_over_when_target_replica_crashes(self):
+        # Regression: open-loop clients used to keep injecting into a dead
+        # replica forever, silently zeroing throughput for the rest of the
+        # run instead of reconnecting like the closed-loop clients do.
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = OpenLoopClient(0, replicas[0], workload, sim, metrics,
+                                rate_per_second=100.0, rng=DeterministicRandom(5),
+                                fallback_replicas=[replicas[1], replicas[2]])
+        client.start()
+        sim.run(until=300.0)
+        replicas[0].crash()
+        completed_before_crash = client.completed
+        sim.run(until=1500.0)
+        client.stop()
+        sim.run(until=2000.0)
+        assert client.replica is replicas[1]
+        assert client.retargets == 1
+        assert client.completed > completed_before_crash
+
+    def test_origin_rewritten_after_retarget(self):
+        # Regression: after a failover the workload kept stamping commands
+        # with the dead replica's id, so per-origin latency was attributed to
+        # a node that never proposed them.
+        sim, replicas = build_single_replica()
+        metrics = MetricsCollector()
+        workload = ConflictWorkload(0, 0, WorkloadConfig(), DeterministicRandom(1))
+        client = OpenLoopClient(0, replicas[0], workload, sim, metrics,
+                                rate_per_second=100.0, rng=DeterministicRandom(5),
+                                fallback_replicas=[replicas[1], replicas[2]])
+        client.start()
+        sim.run(until=300.0)
+        replicas[0].crash()
+        sim.run(until=1500.0)
+        client.stop()
+        sim.run(until=2000.0)
+        # Anything completing well after the crash was proposed by the
+        # fallback, and both the sample's origin and proposer must say so.
+        late = [sample for sample in metrics.samples if sample.completed_at > 500.0]
+        assert late
+        assert all(sample.origin == 1 for sample in late)
+        assert all(sample.proposer == 1 for sample in late)
+
 
 class TestClientPool:
     def test_start_stop_all_and_totals(self):
