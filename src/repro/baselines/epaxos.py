@@ -69,6 +69,22 @@ class Instance:
     deps: Set[InstanceId]
     status: InstanceStatus
     ballot: Ballot
+    _sorted_deps: Optional[List[InstanceId]] = None
+    _sorted_for: Optional[Set[InstanceId]] = None
+
+    def deps_sorted(self) -> List[InstanceId]:
+        """Sorted view of ``deps``, cached until the set is reassigned.
+
+        ``deps`` is only ever replaced wholesale (never mutated in place), so
+        identity of the set object is a sound cache key.  The execution graph
+        walk re-visits blocked instances many times; sorting their dependency
+        lists once instead of per visit is a large constant-factor win.
+        """
+        deps = self.deps
+        if self._sorted_for is not deps:
+            self._sorted_deps = sorted(deps)
+            self._sorted_for = deps
+        return self._sorted_deps
 
 
 # --------------------------------------------------------------------- wire
@@ -507,6 +523,8 @@ class EPaxosReplica(ProtocolKernel):
         stack: List[InstanceId] = []
         counter = 0
         visited_count = 0
+        instances = self.instances
+        executed = self._executed
 
         # Each frame is (node, iterator over deps, last child visited).
         work: List[list] = [[root, None, None]]
@@ -514,7 +532,7 @@ class EPaxosReplica(ProtocolKernel):
             frame = work[-1]
             node, dep_iter, last_child = frame
             if dep_iter is None:
-                instance = self.instances.get(node)
+                instance = instances.get(node)
                 if instance is None or instance.status in (InstanceStatus.PRE_ACCEPTED,
                                                            InstanceStatus.ACCEPTED):
                     self.stats.graph_nodes_visited += visited_count
@@ -529,14 +547,14 @@ class EPaxosReplica(ProtocolKernel):
                 if instance.status is InstanceStatus.EXECUTED:
                     frame[1] = iter(())
                 else:
-                    frame[1] = iter(sorted(instance.deps))
+                    frame[1] = iter(instance.deps_sorted())
                 dep_iter = frame[1]
             if last_child is not None:
                 lowlink[node] = min(lowlink[node], lowlink[last_child])
                 frame[2] = None
             advanced = False
             for dep in dep_iter:
-                if dep in self._executed:
+                if dep in executed:
                     continue
                 if dep not in index:
                     frame[2] = dep
@@ -556,8 +574,8 @@ class EPaxosReplica(ProtocolKernel):
                     component.append(member)
                     if member == node:
                         break
-                component.sort(key=lambda iid: (self.instances[iid].seq, iid))
-                order.extend(member for member in component if member not in self._executed)
+                component.sort(key=lambda iid: (instances[iid].seq, iid))
+                order.extend(member for member in component if member not in executed)
             work.pop()
             if work:
                 work[-1][2] = node

@@ -14,6 +14,7 @@ deprecated alias)::
     repro serve --protocol caesar --replicas 3
     repro loadgen --launch 3 --clients 3 --commands 10
     repro overload --offered 200 600 1200 --admission deadline:200 --store
+    repro profile 9 --quick --cells 'fig9/caesar/*'
     repro report --label overload
     repro topology
 
@@ -122,6 +123,14 @@ def add_admission_flag(parser: argparse.ArgumentParser) -> None:
                              "'deadline:MS' (default: no admission hook)")
 
 
+def add_history_gc_flag(parser: argparse.ArgumentParser) -> None:
+    """Add the history-GC flag (same semantics on every subcommand)."""
+    parser.add_argument("--history-gc", type=float, default=None, metavar="MS",
+                        help="collect history entries delivered by every replica "
+                             "on this virtual-ms cadence (off by default; changes "
+                             "wire bytes, so never used for figure reproduction)")
+
+
 def add_store_flags(parser: argparse.ArgumentParser,
                     label: Optional[str] = None) -> None:
     """Add the results-store flags (``--store`` appends the run to SQLite)."""
@@ -155,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--throughput", action="store_true",
                             help="use the saturation CPU cost model (throughput study)")
     add_admission_flag(run_parser)
+    add_history_gc_flag(run_parser)
     add_store_flags(run_parser, label="run")
 
     subparsers.add_parser(
@@ -311,7 +321,28 @@ def build_parser() -> argparse.ArgumentParser:
     overload_parser.add_argument("--json", action="store_true",
                                  help="print the sweep as JSON")
     add_admission_flag(overload_parser)
+    add_history_gc_flag(overload_parser)
     add_store_flags(overload_parser, label="overload")
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile a figure sweep under cProfile and summarize where the "
+             "simulator spends its time")
+    profile_parser.add_argument("number", nargs="?", default="9",
+                                choices=sorted(FIGURE_DRIVERS, key=_figure_order),
+                                help="figure sweep to profile (default: %(default)s)")
+    profile_parser.add_argument("--quick", action="store_true",
+                                help="use scaled-down parameters (fast, coarser numbers)")
+    profile_parser.add_argument("--cells", nargs="+", default=None, metavar="PATTERN",
+                                help="only run cells whose key matches one of these "
+                                     "globs, e.g. 'fig9/caesar/*'")
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="functions to show in the hot-spot table "
+                                     "(default: %(default)s)")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                choices=["cumulative", "tottime", "calls"],
+                                help="pstats sort order (default: %(default)s)")
+    add_store_flags(profile_parser, label="profile")
 
     report_parser = subparsers.add_parser(
         "report",
@@ -364,6 +395,12 @@ def _run(args: argparse.Namespace) -> str:
         if mean is not None:
             lines.append(f"  {EC2_SHORT_LABELS[site]:<3} {mean:7.1f}")
     lines.append(f"consistency violations: {result.consistency_violations}")
+    compactor = result.cluster.compactor
+    if compactor is not None:
+        live = sum(len(replica.history) for replica in result.cluster.replicas
+                   if hasattr(replica, "history"))
+        lines.append(f"history GC:         {compactor.commands_removed} commands "
+                     f"collected, {live} entries still live")
     # The unified runtime stats record means no per-protocol formatting here:
     # whatever counters moved are reported, regardless of the protocol.
     counters = format_protocol_stats([replica.stats for replica in result.cluster.replicas])
@@ -697,6 +734,89 @@ def _overload(args: argparse.Namespace) -> str:
     return output
 
 
+#: Decision-path modules summarized by ``repro profile`` (path fragments
+#: matched against pstats entries).
+DECISION_PATH_MODULES = ("repro/core/history", "repro/core/predecessors",
+                         "repro/core/delivery", "repro/core/caesar")
+
+
+def _profile(args: argparse.Namespace) -> str:
+    """Run the profile subcommand: cProfile one figure sweep and summarize it.
+
+    Prints the pstats top-N table plus a decision-path section (call counts
+    and ops/second for the history / predecessor / wait / delivery layers).
+    Wall-clock numbers are measured *under the profiler*, which inflates
+    call-heavy code — use them to compare shapes, not as absolute throughput.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.metrics.perf import PerfTracker
+
+    driver = FIGURE_DRIVERS[args.number]
+    overrides = dict(QUICK_OVERRIDES[args.number]) if args.quick else {}
+    profiler = cProfile.Profile()
+    with PerfTracker(f"profile_{driver.__name__}") as tracker:
+        profiler.enable()
+        try:
+            driver(serial=True, cell_filter=args.cells, **overrides)
+        finally:
+            profiler.disable()
+    record = tracker.record
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    # Decision-path summary: every profiled function in the core modules,
+    # by cumulative time.  pstats keys are (file, line, function) and values
+    # start with (primitive_calls, total_calls, tottime, cumtime, ...).
+    wall = record.wall_seconds
+    decision_rows = []
+    for (filename, _line, function), row in stats.stats.items():
+        normalized = filename.replace("\\", "/")
+        if any(fragment in normalized for fragment in DECISION_PATH_MODULES):
+            calls, tottime, cumtime = row[1], row[2], row[3]
+            decision_rows.append((cumtime, calls, tottime, normalized, function))
+    decision_rows.sort(reverse=True)
+
+    lines = [f"profiled {driver.__name__}"
+             + (f" (cells: {' '.join(args.cells)})" if args.cells else "")
+             + (" [--quick]" if args.quick else ""),
+             f"wall {wall:.2f}s under cProfile, "
+             f"{record.events_executed:,} simulator events "
+             f"({record.events_per_second:,.0f} events/s profiled)",
+             "",
+             f"top {args.top} by {args.sort}:",
+             stream.getvalue().rstrip(),
+             "",
+             "decision path (repro/core/*), by cumulative time:"]
+    decision_path_metrics = {}
+    for cumtime, calls, tottime, filename, function in decision_rows[:15]:
+        module = filename.rsplit("/", 1)[-1]
+        ops = calls / wall if wall > 0 else 0.0
+        lines.append(f"  {module + ':' + function:<44} {calls:>9,} calls "
+                     f"{ops:>12,.0f} ops/s  tot {tottime:6.2f}s  cum {cumtime:6.2f}s")
+        decision_path_metrics[f"{module}:{function}"] = {
+            "calls": calls, "ops_per_second": round(ops, 1),
+            "tottime_s": round(tottime, 3), "cumtime_s": round(cumtime, 3)}
+
+    store = _open_store(args)
+    if store is not None:
+        with store:
+            run_id = store.record_run(
+                "bench", args.label, substrate="sim",
+                config={"figure": args.number, "quick": args.quick,
+                        "cells": args.cells},
+                metrics={"wall_seconds": round(wall, 3),
+                         "events_executed": record.events_executed,
+                         "events_per_second": round(record.events_per_second, 1),
+                         "decision_path": decision_path_metrics})
+        lines.append(f"\n[stored as run {run_id} in {args.store}]")
+    return "\n".join(lines)
+
+
 def _report(args: argparse.Namespace) -> str:
     """Run the report subcommand (read-only over the results store)."""
     from repro.metrics.report import render_report
@@ -733,6 +853,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _loadgen(args)
     elif args.command == "overload":
         output = _overload(args)
+    elif args.command == "profile":
+        output = _profile(args)
     elif args.command == "report":
         output = _report(args)
     elif args.command == "topology":

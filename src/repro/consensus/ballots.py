@@ -10,7 +10,7 @@ complete the decision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 
 
 @total_ordering
@@ -31,8 +31,14 @@ class Ballot:
         return (self.round, self.node_id) < (other.round, other.node_id)
 
     @classmethod
+    @lru_cache(maxsize=None)
     def initial(cls, leader_id: int) -> "Ballot":
-        """The ballot the original command leader uses (round 0)."""
+        """The ballot the original command leader uses (round 0).
+
+        Cached: round-0 ballots are requested once per message on some hot
+        paths, and the class is immutable, so one instance per leader
+        suffices.
+        """
         return cls(0, leader_id)
 
     def next_for(self, node_id: int) -> "Ballot":

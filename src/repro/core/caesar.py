@@ -40,7 +40,7 @@ from repro.core.messages import (
     SlowProposeReply,
     Stable,
 )
-from repro.core.predecessors import WaitManager, compute_predecessors
+from repro.core.predecessors import WaitManager, compute_predecessor_mask
 from repro.core.recovery import RecoveryManager
 from repro.kvstore.state_machine import StateMachine
 from repro.runtime.kernel import BallotRegister, ProtocolKernel, QuorumTracker, handles
@@ -239,7 +239,7 @@ class CaesarReplica(ProtocolKernel):
         if timestamps:
             state.timestamp = max(timestamps + [state.timestamp])
         for reply in replies:
-            state.predecessors |= set(reply.predecessors)
+            state.predecessors.update(reply.predecessors)
         state.predecessors.discard(state.command.command_id)
         return replies
 
@@ -263,13 +263,15 @@ class CaesarReplica(ProtocolKernel):
             return
         self.ballots[command_id] = message.ballot
         self.timestamps.observe(message.timestamp)
-        predecessors = compute_predecessors(self.history, command, message.timestamp,
-                                            message.whitelist)
-        self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
-        self.history.update(command, message.timestamp, predecessors,
-                            CommandStatus.FAST_PENDING, message.ballot,
-                            forced=message.whitelist is not None)
-        self.wait_manager.notify_change(command.key)
+        whitelist_mask = (None if message.whitelist is None
+                          else self.history.mask_from_ids(message.whitelist))
+        predecessors = compute_predecessor_mask(self.history, command, message.timestamp,
+                                                whitelist_mask)
+        self.consume_cpu(self.cost_model.dependency_cost(predecessors.bit_count()))
+        entry = self.history.update(command, message.timestamp, predecessors,
+                                    CommandStatus.FAST_PENDING, message.ballot,
+                                    forced=message.whitelist is not None)
+        self.wait_manager.notify_entry(entry)
 
         def resolved(ok: bool, waited_ms: float) -> None:
             self._answer_proposal(src, command, message.ballot, message.timestamp,
@@ -293,13 +295,15 @@ class CaesarReplica(ProtocolKernel):
             return
         self.ballots[command_id] = message.ballot
         self.timestamps.observe(message.timestamp)
-        predecessors = compute_predecessors(self.history, command, message.timestamp, None)
-        predecessors |= set(message.predecessors)
-        predecessors.discard(command_id)
-        self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
-        self.history.update(command, message.timestamp, predecessors,
-                            CommandStatus.SLOW_PENDING, message.ballot)
-        self.wait_manager.notify_change(command.key)
+        predecessors = compute_predecessor_mask(self.history, command, message.timestamp)
+        predecessors |= self.history.mask_from_ids(message.predecessors)
+        self_index = self.history.index_of(command_id)
+        if self_index is not None:
+            predecessors &= ~(1 << self_index)
+        self.consume_cpu(self.cost_model.dependency_cost(predecessors.bit_count()))
+        entry = self.history.update(command, message.timestamp, predecessors,
+                                    CommandStatus.SLOW_PENDING, message.ballot)
+        self.wait_manager.notify_entry(entry)
 
         def resolved(ok: bool, waited_ms: float) -> None:
             self._answer_proposal(src, command, message.ballot, message.timestamp,
@@ -308,9 +312,14 @@ class CaesarReplica(ProtocolKernel):
         self.wait_manager.evaluate(command, message.timestamp, resolved)
 
     def _answer_proposal(self, leader: int, command: Command, ballot: Ballot,
-                         timestamp: LogicalTimestamp, predecessors: Set[CommandId],
+                         timestamp: LogicalTimestamp, predecessors: int,
                          ok: bool, waited_ms: float, fast: bool) -> None:
-        """Send the (possibly delayed) OK/NACK answer for a proposal."""
+        """Send the (possibly delayed) OK/NACK answer for a proposal.
+
+        ``predecessors`` is the interned bitmask computed when the proposal
+        was evaluated; it is translated back to wire-format command ids only
+        at the send below.
+        """
         command_id = command.command_id
         if waited_ms > 0:
             self.wait_time_samples.append(waited_ms)
@@ -326,17 +335,19 @@ class CaesarReplica(ProtocolKernel):
             reply_ts = timestamp
             reply_pred = predecessors
             status = CommandStatus.FAST_PENDING if fast else CommandStatus.SLOW_PENDING
-            self.history.update(command, timestamp, reply_pred, status, ballot,
-                                forced=entry.forced if entry is not None else False)
+            entry = self.history.update(command, timestamp, reply_pred, status, ballot,
+                                        forced=entry.forced if entry is not None else False)
         else:
             self.stats.nacks_sent += 1
             reply_ts = self.timestamps.suggestion_greater_than(timestamp)
-            reply_pred = compute_predecessors(self.history, command, reply_ts, None)
-            self.history.update(command, reply_ts, reply_pred, CommandStatus.REJECTED, ballot)
-        self.wait_manager.notify_change(command.key)
+            reply_pred = compute_predecessor_mask(self.history, command, reply_ts)
+            entry = self.history.update(command, reply_ts, reply_pred,
+                                        CommandStatus.REJECTED, ballot)
+        self.wait_manager.notify_entry(entry)
         reply_cls = FastProposeReply if fast else SlowProposeReply
         self.send(leader, reply_cls(command_id=command_id, ballot=ballot, timestamp=reply_ts,
-                                    predecessors=_freeze(reply_pred), ok=ok))
+                                    predecessors=self.history.ids_from_mask(reply_pred),
+                                    ok=ok))
 
     # ------------------------------------------------------- leader: replies
 
@@ -385,7 +396,7 @@ class CaesarReplica(ProtocolKernel):
         timestamps = [reply.timestamp for reply in replies]
         state.timestamp = max(timestamps + [state.timestamp])
         for reply in replies:
-            state.predecessors |= set(reply.predecessors)
+            state.predecessors.update(reply.predecessors)
         state.predecessors.discard(message.command_id)
         if any(not reply.ok for reply in replies):
             self._start_retry(state)
@@ -404,15 +415,16 @@ class CaesarReplica(ProtocolKernel):
             return
         self.ballots[command_id] = message.ballot
         self.timestamps.observe(message.timestamp)
-        self.history.update(command, message.timestamp, set(message.predecessors),
-                            CommandStatus.ACCEPTED, message.ballot)
-        extra = compute_predecessors(self.history, command, message.timestamp, None)
-        extra.discard(command_id)
-        self.consume_cpu(self.cost_model.dependency_cost(len(extra)))
+        entry = self.history.update(command, message.timestamp,
+                                    self.history.mask_from_ids(message.predecessors),
+                                    CommandStatus.ACCEPTED, message.ballot)
+        extra = compute_predecessor_mask(self.history, command, message.timestamp)
+        self.consume_cpu(self.cost_model.dependency_cost(extra.bit_count()))
         self.wait_manager.drop_command(command_id, command.key)
-        self.wait_manager.notify_change(command.key)
+        self.wait_manager.notify_entry(entry)
         self.send(src, RetryReply(command_id=command_id, ballot=message.ballot,
-                                  timestamp=message.timestamp, predecessors=_freeze(extra)))
+                                  timestamp=message.timestamp,
+                                  predecessors=self.history.ids_from_mask(extra)))
 
     @handles(RetryReply)
     def _on_retry_reply(self, src: int, message: RetryReply) -> None:
@@ -423,7 +435,7 @@ class CaesarReplica(ProtocolKernel):
         if not state.votes.vote(src, message):
             return
         for reply in state.votes.payloads():
-            state.predecessors |= set(reply.predecessors)
+            state.predecessors.update(reply.predecessors)
         state.predecessors.discard(message.command_id)
         self._start_stable(state)
 
@@ -439,13 +451,15 @@ class CaesarReplica(ProtocolKernel):
             return
         self.ballots.observe(command_id, message.ballot)
         self.timestamps.observe(message.timestamp)
-        predecessors = set(message.predecessors)
-        predecessors.discard(command_id)
-        self.history.update(command, message.timestamp, predecessors,
-                            CommandStatus.STABLE, message.ballot)
+        predecessors = self.history.mask_from_ids(message.predecessors)
+        self_index = self.history.index_of(command_id)
+        if self_index is not None:
+            predecessors &= ~(1 << self_index)
+        entry = self.history.update(command, message.timestamp, predecessors,
+                                    CommandStatus.STABLE, message.ballot)
         self.wait_manager.drop_command(command_id, command.key)
-        self.wait_manager.notify_change(command.key)
-        self.consume_cpu(self.cost_model.dependency_cost(len(predecessors)))
+        self.wait_manager.notify_entry(entry)
+        self.consume_cpu(self.cost_model.dependency_cost(predecessors.bit_count()))
         self.delivery.on_stable(command)
         self.note_progress_gap()
 
@@ -475,7 +489,7 @@ class CaesarReplica(ProtocolKernel):
                 continue
             supplies.append(Stable(command=entry.command, ballot=entry.ballot,
                                    timestamp=entry.timestamp,
-                                   predecessors=_freeze(entry.predecessors)))
+                                   predecessors=entry.predecessors))
         return supplies
 
     # ------------------------------------------------------------- recovery
@@ -500,7 +514,9 @@ class CaesarReplica(ProtocolKernel):
 
     def _after_delivery(self, command: Command) -> None:
         """Hook run after each delivery: waiting proposals may now resolve."""
-        self.wait_manager.notify_change(command.key)
+        entry = self.history.get(command.command_id)
+        if entry is not None:
+            self.wait_manager.notify_entry(entry)
 
     # ------------------------------------------------------------- telemetry
 

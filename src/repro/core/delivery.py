@@ -6,11 +6,23 @@ computed against *proposed* timestamps (which a retry can later raise), two
 stable commands can reference each other; BREAKLOOP removes the edge that
 contradicts the final timestamp order, so the remaining precedence graph is
 acyclic and delivery always makes progress.
+
+The delivered set is an interned bitmask drawn from the history's id
+interner, so DELIVERABLE is a single mask test and BREAKLOOP touches only
+the pending commands whose predecessor mask actually references the newly
+stable command — not every pending command on every stable event.
+
+:class:`HistoryCompactor` is the (opt-in) garbage collector: once a command
+has been delivered by *every* replica it can never influence another
+decision, so each replica's history entry for it is removed — long overload
+runs stop scanning dead entries.  This is a cluster-level oracle and is
+therefore driven from the harness, not from the protocol.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from operator import itemgetter
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.consensus.command import Command, CommandId
 from repro.core.history import CommandHistory, CommandStatus, HistoryEntry
@@ -31,7 +43,7 @@ class DeliveryManager:
         self._history = history
         self._execute = execute
         self._on_delivered = on_delivered
-        self._delivered: Set[CommandId] = set()
+        self._delivered_mask = 0
         self._pending: Dict[CommandId, Command] = {}
         self.delivered_order: List[CommandId] = []
 
@@ -42,7 +54,8 @@ class DeliveryManager:
 
     def is_delivered(self, command_id: CommandId) -> bool:
         """Whether the command has been executed locally."""
-        return command_id in self._delivered
+        index = self._history.index_of(command_id)
+        return index is not None and (self._delivered_mask >> index) & 1 == 1
 
     def pending_count(self) -> int:
         """Stable commands still waiting for their predecessors."""
@@ -57,21 +70,20 @@ class DeliveryManager:
         locally but undelivered are excluded: delivery will reach them.
         """
         missing: Set[CommandId] = set()
+        history = self._history
         for command_id in self._pending:
-            entry = self._history.get(command_id)
+            entry = history.get(command_id)
             if entry is None:
                 continue
-            for pred in entry.predecessors:
-                if pred in self._delivered:
-                    continue
-                pred_entry = self._history.get(pred)
+            for pred in history.iter_mask(entry.pred_mask & ~self._delivered_mask):
+                pred_entry = history.get(pred)
                 if pred_entry is None or pred_entry.status is not CommandStatus.STABLE:
                     missing.add(pred)
         return missing
 
     # --------------------------------------------------------------- helpers
 
-    def _break_loop(self, command_id: CommandId) -> None:
+    def _break_loop(self, entry: HistoryEntry) -> None:
         """BREAKLOOP from Figure 3: reconcile mutual predecessor references.
 
         For the newly stable command ``c`` and every *stable* command ``c̄`` in
@@ -79,24 +91,24 @@ class DeliveryManager:
         not appear among ``c̄``'s predecessors; if ``c̄`` has a larger final
         timestamp, ``c̄`` must not appear among ``c``'s predecessors.
         """
-        entry = self._history.get(command_id)
-        if entry is None or entry.status is not CommandStatus.STABLE:
-            return
-        to_remove: Set[CommandId] = set()
-        for pred_id in list(entry.predecessors):
-            pred_entry = self._history.get(pred_id)
+        history = self._history
+        my_bit = 1 << entry.index
+        my_key = entry.ts_key()
+        mask = entry.pred_mask
+        remove = 0
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            pred_entry = history.entry_at(low.bit_length() - 1)
             if pred_entry is None or pred_entry.status is not CommandStatus.STABLE:
                 continue
-            if pred_entry.timestamp < entry.timestamp:
-                pred_entry.predecessors.discard(command_id)
+            if pred_entry.ts_key() < my_key:
+                pred_entry.pred_mask &= ~my_bit
             else:
-                to_remove.add(pred_id)
-        if to_remove:
-            entry.predecessors -= to_remove
-
-    def _deliverable(self, entry: HistoryEntry) -> bool:
-        """DELIVERABLE: every predecessor has already been executed locally."""
-        return all(pred in self._delivered for pred in entry.predecessors)
+                remove |= low
+        if remove:
+            entry.pred_mask = mask & ~remove
 
     # -------------------------------------------------------------- main API
 
@@ -106,56 +118,72 @@ class DeliveryManager:
         Returns the list of commands delivered as a result (in order).
         """
         command_id = command.command_id
-        if command_id in self._delivered:
+        history = self._history
+        index = history.index_of(command_id)
+        if index is not None and (self._delivered_mask >> index) & 1:
             return []
+        entry = history.get(command_id)
         if not self._pending:
             # Fast path for the overwhelmingly common case: nothing else is
             # waiting and every predecessor has already been delivered, so
             # the command can be executed without the loop-breaking or
             # ready-list machinery (which would reach the same conclusion).
-            entry = self._history.get(command_id)
             if (entry is not None and entry.status is CommandStatus.STABLE
-                    and self._deliverable(entry)):
-                self._delivered.add(command_id)
-                self.delivered_order.append(command_id)
-                self._execute(command)
-                if self._on_delivered is not None:
-                    self._on_delivered(command)
+                    and entry.pred_mask & ~self._delivered_mask == 0):
+                self._deliver(command, entry.index)
                 return [command]
         self._pending[command_id] = command
-        self._break_loop(command_id)
-        # The new command may also unblock older stable commands whose
-        # predecessor sets referenced it; their loops are re-examined too.
-        for other_id in list(self._pending.keys()):
-            if other_id != command_id:
-                self._break_loop(other_id)
+        if entry is not None and entry.status is CommandStatus.STABLE:
+            self._break_loop(entry)
+            # The new command may also unblock older stable commands whose
+            # predecessor sets reference it; exactly those pairs are
+            # re-reconciled (every other pending pair is unchanged since the
+            # stable event that last reconciled it).
+            bit = 1 << entry.index
+            my_key = entry.ts_key()
+            for other_id in list(self._pending.keys()):
+                if other_id == command_id:
+                    continue
+                other = history.get(other_id)
+                if (other is None or other.status is not CommandStatus.STABLE
+                        or not other.pred_mask & bit):
+                    continue
+                if my_key < other.ts_key():
+                    entry.pred_mask &= ~(1 << other.index)
+                else:
+                    other.pred_mask &= ~bit
         return self._drain()
+
+    def _deliver(self, command: Command, index: int) -> None:
+        self._delivered_mask |= 1 << index
+        self.delivered_order.append(command.command_id)
+        self._execute(command)
+        if self._on_delivered is not None:
+            self._on_delivered(command)
 
     def _drain(self) -> List[Command]:
         """Deliver pending stable commands until no more are deliverable."""
         delivered_now: List[Command] = []
+        history = self._history
         progress = True
         while progress:
             progress = False
             # Deliver in timestamp order so conflicting commands follow the
             # agreed order; non-conflicting ties are broken deterministically.
             ready: List[tuple] = []
+            delivered_mask = self._delivered_mask
             for command_id, command in self._pending.items():
-                entry = self._history.get(command_id)
+                entry = history.get(command_id)
                 if entry is None:
                     continue
-                if self._deliverable(entry):
-                    ready.append((entry.timestamp, command_id, command))
-            ready.sort(key=lambda item: item[0])
-            for _, command_id, command in ready:
+                if entry.pred_mask & ~delivered_mask == 0:
+                    ready.append((entry.ts_key(), command_id, command, entry))
+            ready.sort(key=itemgetter(0))
+            for _, command_id, command, entry in ready:
                 if command_id not in self._pending:
                     continue
                 del self._pending[command_id]
-                self._delivered.add(command_id)
-                self.delivered_order.append(command_id)
-                self._execute(command)
-                if self._on_delivered is not None:
-                    self._on_delivered(command)
+                self._deliver(command, entry.index)
                 delivered_now.append(command)
                 progress = True
         return delivered_now
@@ -163,3 +191,84 @@ class DeliveryManager:
     def retry_pending(self) -> List[Command]:
         """Re-attempt delivery (used after external history mutations)."""
         return self._drain()
+
+
+class HistoryCompactor:
+    """Cluster-level garbage collection of histories (opt-in).
+
+    Watches every replica's ``delivered_order`` through a cursor; once a
+    command has been delivered by all replicas it is removed from each
+    replica's :class:`~repro.core.history.CommandHistory` via the (previously
+    unused) ``remove`` path.  Removal at a replica is deferred while any
+    proposal is parked on the command's key there, so the incremental wait
+    bookkeeping never sees an entry vanish from under it.
+
+    Collection changes subsequent predecessor sets (collected commands no
+    longer appear), which is safe — a command delivered everywhere is ordered
+    before anything proposed later at every replica — but it does change
+    message bytes relative to a non-collected run.  It is therefore *off by
+    default* and only enabled explicitly (``--history-gc`` on long overload
+    runs), never for figure reproduction.
+    """
+
+    def __init__(self, replicas: Sequence[object], set_timer: Callable,
+                 interval_ms: float) -> None:
+        self._replicas = [r for r in replicas
+                          if hasattr(r, "history") and hasattr(r, "delivery")]
+        self._set_timer = set_timer
+        self.interval_ms = interval_ms
+        self._cursors = [0] * len(self._replicas)
+        self._seen: Dict[CommandId, int] = {}
+        self._deferred: List[CommandId] = []
+        self.commands_removed = 0
+
+    def start(self) -> None:
+        """Arm the periodic collection timer."""
+        self._set_timer(self.interval_ms, self._tick)
+
+    def _tick(self) -> None:
+        self.collect()
+        self._set_timer(self.interval_ms, self._tick)
+
+    def collect(self) -> int:
+        """Run one collection pass; returns how many commands were removed."""
+        full = len(self._replicas)
+        if full == 0:
+            return 0
+        ready: List[CommandId] = self._deferred
+        self._deferred = []
+        seen = self._seen
+        for i, replica in enumerate(self._replicas):
+            order = replica.delivery.delivered_order
+            cursor = min(self._cursors[i], len(order))
+            for command_id in order[cursor:]:
+                count = seen.get(command_id, 0) + 1
+                if count == full:
+                    seen.pop(command_id, None)
+                    ready.append(command_id)
+                else:
+                    seen[command_id] = count
+            self._cursors[i] = len(order)
+        removed = 0
+        for command_id in ready:
+            if self._remove_everywhere(command_id):
+                removed += 1
+            else:
+                self._deferred.append(command_id)
+        self.commands_removed += removed
+        return removed
+
+    def _remove_everywhere(self, command_id: CommandId) -> bool:
+        """Remove one command's entry at every replica, or defer entirely."""
+        entries = []
+        for replica in self._replicas:
+            entry = replica.history.get(command_id)
+            if entry is None:
+                continue
+            wait_manager = getattr(replica, "wait_manager", None)
+            if wait_manager is not None and wait_manager.has_parked(entry.command.key):
+                return False
+            entries.append((replica, entry))
+        for replica, _ in entries:
+            replica.history.remove(command_id)
+        return True

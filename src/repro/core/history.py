@@ -1,21 +1,41 @@
 """The per-node command history ``H_i`` (Section V-A of the paper).
 
 ``H_i`` maps every command a node has heard about to a tuple
-``<c, T, Pred, status, ballot, forced>``.  The history additionally maintains
-a per-key index so the predecessor computation and the wait condition can
-find the commands conflicting with a given command without scanning
-everything the node has ever seen.
+``<c, T, Pred, status, ballot, forced>``.  Two representation choices make
+the decision path cheap:
+
+* **Interned ids.**  Every :data:`~repro.consensus.command.CommandId` the
+  node ever sees is assigned a dense integer index, and predecessor sets are
+  stored as Python int bitmasks (bit ``k`` set = the command with index ``k``
+  is a predecessor).  Set union/membership/difference on the hot path become
+  single C-level integer operations, and UPDATE stores a mask without
+  copying.  The wire format is untouched: messages still carry
+  ``FrozenSet[CommandId]``, translated at the codec boundary with
+  :meth:`CommandHistory.mask_from_ids` / :meth:`CommandHistory.ids_from_mask`.
+* **Timestamp-ordered per-key buckets.**  The per-key index keeps entries
+  sorted by timestamp, so the predecessor computation takes the ``<
+  timestamp`` prefix by binary search (as a precomputed bucket mask minus a
+  usually-empty suffix) and the wait condition scans only the ``> timestamp``
+  suffix.
+
+Interner indices are *never* recycled, even when :meth:`CommandHistory.remove`
+garbage-collects an entry — a late retransmission referencing a collected
+command must keep resolving to the same bit so delivered-set bitmasks stay
+valid.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Set
+from bisect import bisect_left, bisect_right
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.command import Command, CommandId
 from repro.consensus.timestamps import LogicalTimestamp
+
+#: Shared empty frozenset returned whenever a mask materializes to nothing.
+_EMPTY_IDS: FrozenSet[CommandId] = frozenset()
 
 
 class CommandStatus(enum.Enum):
@@ -38,29 +58,194 @@ class CommandStatus(enum.Enum):
         return self in (CommandStatus.SLOW_PENDING, CommandStatus.ACCEPTED, CommandStatus.STABLE)
 
 
-@dataclass(slots=True)
 class HistoryEntry:
-    """One row of ``H_i``: the node's knowledge about a single command."""
+    """One row of ``H_i``: the node's knowledge about a single command.
 
-    command: Command
-    timestamp: LogicalTimestamp
-    predecessors: Set[CommandId]
-    status: CommandStatus
-    ballot: Ballot
-    forced: bool = False
+    ``pred_mask`` is the predecessor set as an interned bitmask; the
+    :attr:`predecessors` view materializes it to a ``frozenset`` of ids on
+    demand (cached until the mask changes) for cold-path readers such as
+    recovery, catch-up supply and the invariant checks.
+    """
+
+    __slots__ = ("command", "timestamp", "status", "ballot", "forced",
+                 "index", "_history", "_pred_mask", "_pred_ids")
+
+    def __init__(self, command: Command, timestamp: LogicalTimestamp,
+                 pred_mask: int, status: CommandStatus, ballot: Ballot,
+                 forced: bool, index: int, history: "CommandHistory") -> None:
+        self.command = command
+        self.timestamp = timestamp
+        self.status = status
+        self.ballot = ballot
+        self.forced = forced
+        #: This command's own interner index (``1 << index`` is its bit).
+        self.index = index
+        self._history = history
+        self._pred_mask = pred_mask
+        self._pred_ids: Optional[FrozenSet[CommandId]] = None
 
     @property
     def command_id(self) -> CommandId:
         """Id of the command this entry describes."""
         return self.command.command_id
 
+    @property
+    def pred_mask(self) -> int:
+        """Predecessor set as an interned bitmask."""
+        return self._pred_mask
+
+    @pred_mask.setter
+    def pred_mask(self, mask: int) -> None:
+        if mask != self._pred_mask:
+            self._pred_mask = mask
+            self._pred_ids = None
+
+    @property
+    def predecessors(self) -> FrozenSet[CommandId]:
+        """The predecessor set as command ids (cached until the mask changes)."""
+        ids = self._pred_ids
+        if ids is None:
+            ids = self._history.ids_from_mask(self._pred_mask)
+            self._pred_ids = ids
+        return ids
+
+    def ts_key(self) -> Tuple[int, int]:
+        """Sort key equivalent to the timestamp's total order."""
+        timestamp = self.timestamp
+        return (timestamp.counter, timestamp.node_id)
+
+
+class _KeyBucket:
+    """Entries for one key, kept sorted by timestamp.
+
+    ``keys`` and ``entries`` are parallel lists; ``keys[i]`` is
+    ``(counter, node_id, index)`` for ``entries[i]`` (the index component
+    makes keys unique, so removal never needs an equality scan).  ``all_mask``
+    / ``write_mask`` are the bitmask of every entry / every *writing* entry in
+    the bucket — the predecessor computation takes the whole-bucket mask and
+    strips the (usually tiny) ``>= timestamp`` suffix instead of scanning the
+    prefix.
+    """
+
+    __slots__ = ("keys", "entries", "all_mask", "write_mask")
+
+    def __init__(self) -> None:
+        self.keys: List[Tuple[int, int, int]] = []
+        self.entries: List[HistoryEntry] = []
+        self.all_mask = 0
+        self.write_mask = 0
+
+    def insert(self, entry: HistoryEntry) -> None:
+        timestamp = entry.timestamp
+        key = (timestamp.counter, timestamp.node_id, entry.index)
+        position = bisect_left(self.keys, key)
+        self.keys.insert(position, key)
+        self.entries.insert(position, entry)
+        bit = 1 << entry.index
+        self.all_mask |= bit
+        if entry.command.is_write:
+            self.write_mask |= bit
+
+    def discard(self, entry: HistoryEntry, timestamp: LogicalTimestamp) -> None:
+        """Remove ``entry``, which is currently filed under ``timestamp``."""
+        key = (timestamp.counter, timestamp.node_id, entry.index)
+        position = bisect_left(self.keys, key)
+        if position < len(self.keys) and self.keys[position] == key:
+            del self.keys[position]
+            del self.entries[position]
+            bit = 1 << entry.index
+            self.all_mask &= ~bit
+            self.write_mask &= ~bit
+
+    def suffix_start(self, timestamp: LogicalTimestamp) -> int:
+        """Index of the first entry with a timestamp strictly greater."""
+        return bisect_right(self.keys, (timestamp.counter, timestamp.node_id, 1 << 62))
+
+    def prefix_mask(self, timestamp: LogicalTimestamp, writes_only: bool) -> int:
+        """Bitmask of entries with a timestamp strictly smaller.
+
+        Computed as the whole-bucket mask minus the ``>= timestamp`` suffix;
+        at propose time new timestamps are usually the largest in the bucket,
+        so the suffix loop rarely runs.
+        """
+        mask = self.write_mask if writes_only else self.all_mask
+        keys = self.keys
+        position = bisect_left(keys, (timestamp.counter, timestamp.node_id))
+        if position < len(keys):
+            entries = self.entries
+            for i in range(position, len(keys)):
+                mask &= ~(1 << entries[i].index)
+        return mask
+
 
 class CommandHistory:
-    """Mutable map from command id to :class:`HistoryEntry`, with a key index."""
+    """Mutable map from command id to :class:`HistoryEntry`, with interning.
+
+    Besides the history proper, this object owns the node's
+    ``CommandId -> dense int`` interner used by the wait condition and the
+    delivery manager, so every bitmask on one node draws from the same index
+    space.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[CommandId, HistoryEntry] = {}
-        self._by_key: Dict[str, Set[CommandId]] = {}
+        self._by_key: Dict[str, _KeyBucket] = {}
+        self._index_of: Dict[CommandId, int] = {}
+        self._id_of: List[CommandId] = []
+        self._entry_by_index: List[Optional[HistoryEntry]] = []
+
+    # ------------------------------------------------------------- interning
+
+    def intern(self, command_id: CommandId) -> int:
+        """Dense index for a command id, assigning one on first sight."""
+        index = self._index_of.get(command_id)
+        if index is None:
+            index = len(self._id_of)
+            self._index_of[command_id] = index
+            self._id_of.append(command_id)
+            self._entry_by_index.append(None)
+        return index
+
+    def index_of(self, command_id: CommandId) -> Optional[int]:
+        """Index of an already-interned id, ``None`` if never seen."""
+        return self._index_of.get(command_id)
+
+    def id_at(self, index: int) -> CommandId:
+        """The command id interned at ``index``."""
+        return self._id_of[index]
+
+    def entry_at(self, index: int) -> Optional[HistoryEntry]:
+        """The live entry for an interned index, ``None`` when absent."""
+        return self._entry_by_index[index]
+
+    def mask_from_ids(self, ids: Iterable[CommandId]) -> int:
+        """Bitmask for a collection of command ids (interning as needed)."""
+        mask = 0
+        for command_id in ids:
+            mask |= 1 << self.intern(command_id)
+        return mask
+
+    def ids_from_mask(self, mask: int) -> FrozenSet[CommandId]:
+        """The command ids whose bits are set in ``mask``."""
+        if not mask:
+            return _EMPTY_IDS
+        id_of = self._id_of
+        ids = []
+        while mask:
+            low = mask & -mask
+            ids.append(id_of[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(ids)
+
+    def iter_mask(self, mask: int) -> Iterator[CommandId]:
+        """Iterate the command ids whose bits are set in ``mask``."""
+        id_of = self._id_of
+        while mask:
+            low = mask & -mask
+            yield id_of[low.bit_length() - 1]
+            mask ^= low
+
+    # ------------------------------------------------------------ collection
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,40 +257,63 @@ class CommandHistory:
         """The entry for a command, or ``None`` if the node has never seen it."""
         return self._entries.get(command_id)
 
+    def bucket(self, key: str) -> Optional[_KeyBucket]:
+        """The timestamp-sorted bucket for ``key`` (``None`` when empty)."""
+        return self._by_key.get(key)
+
     def update(self, command: Command, timestamp: LogicalTimestamp,
-               predecessors: Iterable[CommandId], status: CommandStatus,
+               predecessors: Union[int, Iterable[CommandId]], status: CommandStatus,
                ballot: Ballot, forced: bool = False) -> HistoryEntry:
         """Insert or update the entry for ``command`` (the UPDATE of Section V-A).
 
-        An existing entry is mutated in place rather than replaced, so the
-        hot path avoids one allocation per protocol message and concurrent
-        holders of the entry (e.g. the delivery manager's loop breaking)
-        always observe the node's latest knowledge.
+        ``predecessors`` is either an interned bitmask (the hot path — stored
+        as-is, no copy) or any iterable of command ids (interned on the way
+        in).  An existing entry is mutated in place rather than replaced, so
+        concurrent holders of the entry (e.g. the delivery manager's loop
+        breaking) always observe the node's latest knowledge.
         """
+        if isinstance(predecessors, int):
+            mask = predecessors
+        else:
+            mask = self.mask_from_ids(predecessors)
         entry = self._entries.get(command.command_id)
         if entry is None:
+            index = self.intern(command.command_id)
             entry = HistoryEntry(command=command, timestamp=timestamp,
-                                 predecessors=set(predecessors), status=status,
-                                 ballot=ballot, forced=forced)
+                                 pred_mask=mask, status=status, ballot=ballot,
+                                 forced=forced, index=index, history=self)
             self._entries[command.command_id] = entry
-            self._by_key.setdefault(command.key, set()).add(command.command_id)
+            self._entry_by_index[index] = entry
+            bucket = self._by_key.get(command.key)
+            if bucket is None:
+                bucket = self._by_key[command.key] = _KeyBucket()
+            bucket.insert(entry)
         else:
+            if entry.timestamp != timestamp:
+                bucket = self._by_key[command.key]
+                bucket.discard(entry, entry.timestamp)
+                entry.timestamp = timestamp
+                bucket.insert(entry)
             entry.command = command
-            entry.timestamp = timestamp
-            entry.predecessors = set(predecessors)
+            entry.pred_mask = mask
             entry.status = status
             entry.ballot = ballot
             entry.forced = forced
         return entry
 
     def remove(self, command_id: CommandId) -> None:
-        """Forget a command (garbage collection once stable everywhere)."""
+        """Forget a command (garbage collection once stable everywhere).
+
+        The interner mapping is kept so the command's bit stays valid in any
+        surviving bitmask (delivered sets, other entries' predecessors).
+        """
         entry = self._entries.pop(command_id, None)
         if entry is not None:
+            self._entry_by_index[entry.index] = None
             bucket = self._by_key.get(entry.command.key)
             if bucket is not None:
-                bucket.discard(command_id)
-                if not bucket:
+                bucket.discard(entry, entry.timestamp)
+                if not bucket.keys:
                     del self._by_key[entry.command.key]
 
     def entries(self) -> Iterator[HistoryEntry]:
@@ -113,20 +321,37 @@ class CommandHistory:
         return iter(self._entries.values())
 
     def conflicting_with(self, command: Command) -> Iterator[HistoryEntry]:
-        """Entries for commands that conflict with ``command`` (excluding itself)."""
-        for command_id in self._by_key.get(command.key, ()):  # same key = candidate conflict
-            if command_id == command.command_id:
+        """Entries for commands that conflict with ``command`` (excluding itself).
+
+        Yields in timestamp order (the bucket order); callers that care about
+        order get it for free, callers that do not are unaffected.
+        """
+        bucket = self._by_key.get(command.key)
+        if bucket is None:
+            return
+        command_id = command.command_id
+        for entry in bucket.entries:
+            if entry.command_id == command_id:
                 continue
-            entry = self._entries[command_id]
             if entry.command.conflicts_with(command):
                 yield entry
 
-    def predecessors_of(self, command_id: CommandId) -> Set[CommandId]:
-        """The GETPREDECESSORS accessor; empty set when the command is unknown."""
+    def predecessors_of(self, command_id: CommandId) -> FrozenSet[CommandId]:
+        """The GETPREDECESSORS accessor; empty set when the command is unknown.
+
+        Returns the entry's cached immutable view — callers must not expect
+        a private copy (none of them mutate it; the previous per-call
+        ``set()`` copy existed only to protect against that).
+        """
         entry = self._entries.get(command_id)
         if entry is None:
-            return set()
-        return set(entry.predecessors)
+            return _EMPTY_IDS
+        return entry.predecessors
+
+    def predecessor_mask_of(self, command_id: CommandId) -> int:
+        """Bitmask variant of :meth:`predecessors_of` (no allocation at all)."""
+        entry = self._entries.get(command_id)
+        return entry.pred_mask if entry is not None else 0
 
     def status_of(self, command_id: CommandId) -> Optional[CommandStatus]:
         """Status of a command, or ``None`` if unknown."""

@@ -2,70 +2,108 @@
 
 These are the two auxiliary functions of Figure 3 in the paper:
 
-* :func:`compute_predecessors` — the set of conflicting commands that must be
-  ordered before a command proposed at a given timestamp, optionally
-  constrained by a recovery whitelist.
+* :func:`compute_predecessor_mask` — the set of conflicting commands that
+  must be ordered before a command proposed at a given timestamp, optionally
+  constrained by a recovery whitelist.  Returns an interned bitmask (see
+  :mod:`repro.core.history`); :func:`compute_predecessors` is the
+  id-set-returning wrapper kept for cold paths and tests.
 * :class:`WaitManager` — the WAIT function.  In the paper WAIT blocks the
   acceptor thread; in the discrete-event simulation it is implemented as a
-  registry of *parked* proposals that are re-evaluated every time the status
-  or predecessor set of a conflicting command changes.  When the blocking
-  condition clears, the manager reports OK or NACK to a callback supplied by
-  the replica.
+  registry of *parked* proposals.  Each parked proposal carries the bitmask
+  of the conflicting entries currently blocking it and of the accepted/stable
+  *NACK witnesses*; :meth:`WaitManager.notify_entry` reclassifies exactly the
+  entry that changed instead of re-scanning every parked proposal's whole
+  bucket, so a history change costs O(parked-on-key) bit operations.  When
+  the blocker mask empties, the manager reports OK or NACK to a callback
+  supplied by the replica.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.consensus.command import Command, CommandId
 from repro.consensus.timestamps import LogicalTimestamp
-from repro.core.history import CommandHistory
+from repro.core.history import CommandHistory, HistoryEntry
 
 
-def compute_predecessors(history: CommandHistory, command: Command,
-                         timestamp: LogicalTimestamp,
-                         whitelist: Optional[FrozenSet[CommandId]]) -> Set[CommandId]:
-    """COMPUTEPREDECESSORS from Figure 3.
+def compute_predecessor_mask(history: CommandHistory, command: Command,
+                             timestamp: LogicalTimestamp,
+                             whitelist_mask: Optional[int] = None) -> int:
+    """COMPUTEPREDECESSORS from Figure 3, as an interned bitmask.
 
     With no whitelist, the predecessors of ``command`` at ``timestamp`` are
-    every conflicting command the node has seen with a smaller timestamp.
+    every conflicting command the node has seen with a smaller timestamp —
+    the bucket's ``< timestamp`` prefix, taken by binary search.
 
     With a whitelist (only used during recovery of a possibly fast-decided
     command), a conflicting command is a predecessor if it is in the
     whitelist, or if it has progressed past the proposal phases
     (slow-pending / accepted / stable) with a smaller timestamp.
     """
-    predecessors: Set[CommandId] = set()
-    for entry in history.conflicting_with(command):
-        if whitelist is None:
-            if entry.timestamp < timestamp:
-                predecessors.add(entry.command_id)
-        else:
-            if entry.command_id in whitelist:
-                predecessors.add(entry.command_id)
-            elif entry.status.survived_proposal and entry.timestamp < timestamp:
-                predecessors.add(entry.command_id)
-    return predecessors
+    bucket = history.bucket(command.key)
+    if bucket is None:
+        return 0
+    index = history.index_of(command.command_id)
+    self_bit = (1 << index) if index is not None else 0
+    if whitelist_mask is None:
+        mask = bucket.prefix_mask(timestamp, writes_only=not command.is_write)
+        return mask & ~self_bit
+    command_is_write = command.is_write
+    mask = 0
+    for entry in bucket.entries:
+        if not (command_is_write or entry.command.is_write):
+            continue
+        bit = 1 << entry.index
+        if bit & whitelist_mask:
+            mask |= bit
+        elif entry.status.survived_proposal and entry.timestamp < timestamp:
+            mask |= bit
+    return mask & ~self_bit
 
 
-@dataclass
+def compute_predecessors(history: CommandHistory, command: Command,
+                         timestamp: LogicalTimestamp,
+                         whitelist: Optional[FrozenSet[CommandId]]) -> Set[CommandId]:
+    """Id-set wrapper around :func:`compute_predecessor_mask`."""
+    whitelist_mask = None if whitelist is None else history.mask_from_ids(whitelist)
+    mask = compute_predecessor_mask(history, command, timestamp, whitelist_mask)
+    return set(history.ids_from_mask(mask))
+
+
 class _ParkedProposal:
     """A proposal whose reply is delayed by the wait condition."""
 
-    command: Command
-    timestamp: LogicalTimestamp
-    on_resolved: Callable[[bool, float], None]
-    parked_at: float
+    __slots__ = ("command", "command_id", "is_write", "bit", "ts_counter",
+                 "ts_node", "timestamp", "on_resolved", "parked_at",
+                 "blocker_mask", "witness_mask")
+
+    def __init__(self, command: Command, bit: int, timestamp: LogicalTimestamp,
+                 on_resolved: Callable[[bool, float], None], parked_at: float,
+                 blocker_mask: int, witness_mask: int) -> None:
+        self.command = command
+        self.command_id = command.command_id
+        self.is_write = command.is_write
+        self.bit = bit
+        self.ts_counter = timestamp.counter
+        self.ts_node = timestamp.node_id
+        self.timestamp = timestamp
+        self.on_resolved = on_resolved
+        self.parked_at = parked_at
+        self.blocker_mask = blocker_mask
+        self.witness_mask = witness_mask
 
 
 class WaitManager:
     """Implements WAIT (Figure 3, lines 4-8) without blocking threads.
 
     The manager is owned by a replica.  ``evaluate`` either resolves the
-    proposal immediately or parks it; ``notify_change(key)`` must be called by
-    the replica whenever a command on ``key`` changes status or predecessor
-    set, so parked proposals can be re-checked.
+    proposal immediately or parks it.  The replica notifies the manager on
+    every history change: :meth:`notify_entry` (hot path, after a
+    ``history.update``) reclassifies the single changed entry against each
+    proposal parked on its key; :meth:`notify_change` (compatibility API)
+    rebuilds every parked proposal's masks from the bucket.  Both resolve the
+    proposals whose blocker mask emptied, in parking order.
 
     The resolution callback receives ``(ok, waited_ms)`` where ``ok`` is the
     OK/NACK outcome of WAIT and ``waited_ms`` is how long the proposal was
@@ -78,33 +116,45 @@ class WaitManager:
         self._now = now
         self._enabled = enabled
         self._parked_by_key: Dict[str, List[_ParkedProposal]] = {}
+        self._parked = 0
         self.total_waits = 0
         self.total_wait_ms = 0.0
 
     # ------------------------------------------------------------ predicates
 
-    def _scan(self, command: Command, timestamp: LogicalTimestamp) -> tuple:
-        """One pass over the conflicting entries: ``(blockers, nack_witnesses)``.
+    def _scan_masks(self, command: Command, timestamp: LogicalTimestamp,
+                    self_bit: int) -> tuple:
+        """One pass over the ``> timestamp`` bucket suffix: the blocker and
+        NACK-witness masks.
 
         A conflicting command *blocks* when it has a greater timestamp, does
         not list ``command`` among its predecessors, and has not yet reached
         an accepted/stable status; candidates that have are *NACK witnesses*.
-        The two partition the same candidate set, so the wait condition needs
-        only one scan of the per-key history bucket to decide park/OK/NACK.
+        The two partition the same candidate set, and the timestamp-sorted
+        bucket means only entries past the binary-searched suffix start are
+        ever examined.
         """
-        blockers: List = []
-        witnesses: List = []
-        command_id = command.command_id
-        for entry in self._history.conflicting_with(command):
-            if entry.timestamp <= timestamp:
+        bucket = self._history.bucket(command.key)
+        if bucket is None:
+            return 0, 0
+        blocker_mask = 0
+        witness_mask = 0
+        command_is_write = command.is_write
+        entries = bucket.entries
+        for i in range(bucket.suffix_start(timestamp), len(entries)):
+            entry = entries[i]
+            if not (command_is_write or entry.command.is_write):
                 continue
-            if command_id in entry.predecessors:
+            if entry.pred_mask & self_bit:
+                continue
+            bit = 1 << entry.index
+            if bit == self_bit:
                 continue
             if entry.status.is_finalizing:
-                witnesses.append(entry)
+                witness_mask |= bit
             else:
-                blockers.append(entry)
-        return blockers, witnesses
+                blocker_mask |= bit
+        return blocker_mask, witness_mask
 
     # -------------------------------------------------------------- main API
 
@@ -117,52 +167,131 @@ class WaitManager:
             timestamp: the proposed timestamp.
             on_resolved: called with ``(ok, waited_ms)`` once WAIT terminates.
         """
-        blockers, witnesses = self._scan(command, timestamp)
-        if blockers and self._enabled:
-            parked = _ParkedProposal(command=command, timestamp=timestamp,
-                                     on_resolved=on_resolved, parked_at=self._now())
+        self_bit = 1 << self._history.intern(command.command_id)
+        blocker_mask, witness_mask = self._scan_masks(command, timestamp, self_bit)
+        if blocker_mask and self._enabled:
+            parked = _ParkedProposal(command=command, bit=self_bit,
+                                     timestamp=timestamp, on_resolved=on_resolved,
+                                     parked_at=self._now(),
+                                     blocker_mask=blocker_mask,
+                                     witness_mask=witness_mask)
             self._parked_by_key.setdefault(command.key, []).append(parked)
+            self._parked += 1
             return
-        if blockers and not self._enabled:
+        if blocker_mask and not self._enabled:
             # Ablation mode: a proposal that would have waited is rejected outright.
             on_resolved(False, 0.0)
             return
-        on_resolved(not witnesses, 0.0)
+        on_resolved(not witness_mask, 0.0)
+
+    def notify_entry(self, entry: HistoryEntry) -> None:
+        """Reclassify one changed entry against the proposals parked on its key.
+
+        Called by the replica right after every ``history.update`` (and after
+        a delivery) with the entry that changed — the incremental counterpart
+        of :meth:`notify_change`.
+        """
+        parked_list = self._parked_by_key.get(entry.command.key)
+        if not parked_list:
+            return
+        bit = 1 << entry.index
+        entry_counter = entry.timestamp.counter
+        entry_node = entry.timestamp.node_id
+        entry_is_write = entry.command.is_write
+        pred_mask = entry.pred_mask
+        finalizing = entry.status.is_finalizing
+        resolved: Optional[List[_ParkedProposal]] = None
+        for parked in parked_list:
+            if parked.bit == bit:
+                continue
+            blocks = ((entry_is_write or parked.is_write)
+                      and (entry_counter, entry_node) > (parked.ts_counter, parked.ts_node)
+                      and not (pred_mask & parked.bit))
+            if blocks:
+                if finalizing:
+                    parked.witness_mask |= bit
+                    new_blockers = parked.blocker_mask & ~bit
+                else:
+                    parked.blocker_mask |= bit
+                    parked.witness_mask &= ~bit
+                    continue
+            else:
+                parked.witness_mask &= ~bit
+                new_blockers = parked.blocker_mask & ~bit
+            if new_blockers != parked.blocker_mask:
+                parked.blocker_mask = new_blockers
+                if not new_blockers:
+                    if resolved is None:
+                        resolved = []
+                    resolved.append(parked)
+        if resolved:
+            self._finish(entry.command.key, parked_list, resolved)
 
     def notify_change(self, key: str) -> None:
-        """Re-evaluate proposals parked on ``key`` after a history change."""
+        """Re-evaluate proposals parked on ``key`` after a history change.
+
+        Compatibility API (tests and external callers): rebuilds each parked
+        proposal's masks with a full suffix scan, which also resynchronizes
+        the incremental state after arbitrary external history mutations.
+        """
         parked_list = self._parked_by_key.get(key)
         if not parked_list:
             return
-        still_parked: List[_ParkedProposal] = []
-        resolved: List[tuple] = []
+        resolved: Optional[List[_ParkedProposal]] = None
         for parked in parked_list:
-            blockers, witnesses = self._scan(parked.command, parked.timestamp)
-            if blockers:
-                still_parked.append(parked)
-                continue
-            waited = self._now() - parked.parked_at
-            resolved.append((parked, not witnesses, waited))
-        if still_parked:
-            self._parked_by_key[key] = still_parked
-        else:
+            blocker_mask, witness_mask = self._scan_masks(
+                parked.command, parked.timestamp, parked.bit)
+            parked.blocker_mask = blocker_mask
+            parked.witness_mask = witness_mask
+            if not blocker_mask:
+                if resolved is None:
+                    resolved = []
+                resolved.append(parked)
+        if resolved:
+            self._finish(key, parked_list, resolved)
+
+    def _finish(self, key: str, parked_list: List[_ParkedProposal],
+                resolved: List[_ParkedProposal]) -> None:
+        """Unpark ``resolved`` and fire their callbacks, in parking order.
+
+        The parked map is updated *before* any callback runs: callbacks
+        mutate the history and re-enter the notify path, and must observe a
+        consistent registry.
+        """
+        if len(resolved) == len(parked_list):
             self._parked_by_key.pop(key, None)
-        for parked, ok, waited in resolved:
+        else:
+            remaining = [p for p in parked_list if p.blocker_mask]
+            self._parked_by_key[key] = remaining
+        self._parked -= len(resolved)
+        now = self._now()
+        for parked in resolved:
+            waited = now - parked.parked_at
             self.total_waits += 1
             self.total_wait_ms += waited
-            parked.on_resolved(ok, waited)
+            parked.on_resolved(not parked.witness_mask, waited)
 
     def parked_count(self) -> int:
-        """Number of proposals currently delayed by the wait condition."""
-        return sum(len(v) for v in self._parked_by_key.values())
+        """Number of proposals currently delayed by the wait condition.
+
+        Maintained as a running counter — this is sampled per tick by the
+        overload stats, so it must not rescan the parked map.
+        """
+        return self._parked
+
+    def has_parked(self, key: str) -> bool:
+        """Whether any proposal is parked on ``key`` (used by the history GC)."""
+        return key in self._parked_by_key
 
     def drop_command(self, command_id: CommandId, key: str) -> None:
         """Remove any parked proposal for a command (used on ballot preemption)."""
         parked_list = self._parked_by_key.get(key)
         if not parked_list:
             return
-        remaining = [p for p in parked_list if p.command.command_id != command_id]
-        if remaining:
-            self._parked_by_key[key] = remaining
-        else:
-            self._parked_by_key.pop(key, None)
+        remaining = [p for p in parked_list if p.command_id != command_id]
+        if len(remaining) != len(parked_list):
+            self._parked -= len(parked_list) - len(remaining)
+            if remaining:
+                self._parked_by_key[key] = remaining
+            else:
+                self._parked_by_key.pop(key, None)

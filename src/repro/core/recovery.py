@@ -102,7 +102,7 @@ class RecoveryManager:
             return RecoveryReply(command_id=command_id, ballot=ballot, known=False)
         return RecoveryReply(command_id=command_id, ballot=ballot, known=True,
                              entry_ballot=entry.ballot, timestamp=entry.timestamp,
-                             predecessors=frozenset(entry.predecessors),
+                             predecessors=entry.predecessors,
                              status=entry.status.value, forced=entry.forced)
 
     def on_recovery_message(self, src: int, message: Recovery) -> None:

@@ -44,6 +44,12 @@ class ClusterConfig:
             path (``"none"``, ``"inflight:K"``, ``"deadline:MS"``; see
             :mod:`repro.runtime.admission`).  ``None`` leaves the submit path
             hook-free.
+        history_gc_ms: when set, run a cluster-level
+            :class:`~repro.core.delivery.HistoryCompactor` every this many
+            virtual ms, removing history entries for commands delivered by
+            every replica.  Off by default: collection changes subsequent
+            predecessor sets (and therefore message bytes), so it is only for
+            long-running load studies, never figure reproduction.
         protocol_options: protocol-specific keyword arguments forwarded to the
             replica constructor (e.g. ``{"config": CaesarConfig(...)}`` or
             ``{"leader_id": 3}`` for Multi-Paxos).
@@ -57,6 +63,7 @@ class ClusterConfig:
     batching: Optional[BatchingConfig] = None
     retransmit: bool = True
     admission: Optional[str] = None
+    history_gc_ms: Optional[float] = None
     protocol_options: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
@@ -72,6 +79,7 @@ class ClusterConfig:
             "seed": getattr(args, "seed", cls.seed),
             "retransmit": not getattr(args, "no_retransmit", False),
             "admission": getattr(args, "admission", None),
+            "history_gc_ms": getattr(args, "history_gc", None),
             "network": NetworkConfig.from_args(args),
         }
         kwargs.update(overrides)
@@ -89,6 +97,9 @@ class Cluster:
         self.topology = topology
         self.replicas = replicas
         self.crash_injector = CrashInjector(sim, {r.node_id: r for r in replicas})
+        #: cluster-level history garbage collector (``None`` unless the config
+        #: sets ``history_gc_ms``); built and armed by :func:`build_cluster`.
+        self.compactor = None
         #: total command executions across all replicas (including any a
         #: replica performed before crashing); maintained in O(1) via the
         #: replicas' execution listeners so completion predicates do not have
@@ -242,4 +253,14 @@ def build_cluster(config: Optional[ClusterConfig] = None) -> Cluster:
         for replica in replicas:
             replica.admission = admission_policy(config.admission)
     cluster = Cluster(config, sim, network, topology, replicas)
+    if config.history_gc_ms is not None:
+        from repro.core.delivery import HistoryCompactor
+
+        # The compactor is a cluster-level oracle (it needs every replica's
+        # delivered_order), so its timer lives on the simulator rather than on
+        # any one replica — a replica crash must not stop collection.
+        cluster.compactor = HistoryCompactor(
+            replicas, lambda delay, callback: sim.schedule(delay, callback),
+            interval_ms=config.history_gc_ms)
+        cluster.compactor.start()
     return cluster

@@ -77,6 +77,7 @@ class ExperimentConfig:
     recovery: bool = False
     retransmit: bool = True
     admission: Optional[str] = None
+    history_gc_ms: Optional[float] = None
     protocol_options: Dict[str, object] = field(default_factory=dict)
     workload: Optional[WorkloadConfig] = None
     drain_ms: float = 2000.0
@@ -99,6 +100,7 @@ class ExperimentConfig:
             "recovery": getattr(args, "recovery", False),
             "retransmit": not getattr(args, "no_retransmit", False),
             "admission": getattr(args, "admission", None),
+            "history_gc_ms": getattr(args, "history_gc", None),
         }
         conflicts = getattr(args, "conflicts", None)
         if isinstance(conflicts, (int, float)):
@@ -166,6 +168,7 @@ def build_experiment_cluster(config: ExperimentConfig) -> Cluster:
                                    cost_model=config.cost_model, batching=config.batching,
                                    retransmit=config.retransmit,
                                    admission=config.admission,
+                                   history_gc_ms=config.history_gc_ms,
                                    protocol_options=_protocol_options(config))
     return build_cluster(cluster_config)
 

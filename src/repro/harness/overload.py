@@ -82,6 +82,10 @@ class OverloadConfig:
     workers: Optional[object] = None
     timeout_s: float = 60.0
     endpoints: Optional[Dict[int, Tuple[str, int]]] = None
+    #: periodic cluster-level history GC interval (sim substrate only);
+    #: ``None`` = no collection.  Long saturation runs accumulate history
+    #: entries forever without it.
+    history_gc_ms: Optional[float] = None
 
     @classmethod
     def from_args(cls, args, **overrides) -> "OverloadConfig":
@@ -94,7 +98,8 @@ class OverloadConfig:
                       replicas=getattr(args, "replicas", 3),
                       duration_ms=getattr(args, "duration", 4000.0),
                       admission=getattr(args, "admission", None),
-                      workers=getattr(args, "workers", None))
+                      workers=getattr(args, "workers", None),
+                      history_gc_ms=getattr(args, "history_gc", None))
         loads = getattr(args, "offered", None)
         if loads:
             kwargs["offered_loads"] = tuple(float(load) for load in loads)
@@ -252,7 +257,8 @@ def _sim_points(config: OverloadConfig) -> List[LoadPoint]:
             clients_per_site=config.clients_per_site, open_loop=True,
             arrival_rate_per_client=offered / n_clients,
             duration_ms=config.duration_ms, warmup_ms=config.warmup_ms,
-            admission=config.admission or "none", cost_model=cost_model)
+            admission=config.admission or "none", cost_model=cost_model,
+            history_gc_ms=config.history_gc_ms)
         cells.append(sweep_cell(("overload", config.protocol,
                                  config.admission or "none", offered),
                                 experiment, base_seed=config.seed,

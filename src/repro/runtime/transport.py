@@ -115,6 +115,13 @@ class Transport(abc.ABC):
     def close(self) -> None:
         """Release transport-owned resources (idempotent; sends become no-ops)."""
 
+    #: When not ``None``, a bound ``(src, dst, message, size_bytes)`` callable
+    #: that is exactly equivalent to :meth:`send` — the owning node may call
+    #: it to skip the per-message transport frame.  Backends that can prove
+    #: the equivalence (no batching, no fault filter, no wire accounting)
+    #: publish it; everything else leaves it ``None``.
+    send_direct = None
+
 
 class SimulatorTransport(Transport):
     """Transport backend over the simulated network.
@@ -146,6 +153,20 @@ class SimulatorTransport(Transport):
         #: (both immutable for the node's lifetime).
         self._node_id = node.node_id
         self._network_send = network.send
+        self._refresh_send_direct()
+
+    def _refresh_send_direct(self) -> None:
+        """Publish (or retract) the frame-skipping send path.
+
+        Only valid while :meth:`send` would take its eager branch with no
+        side channels: no batch buffer, no fault filter, no wire accounting,
+        not closed.  Every state change that affects those re-derives it.
+        """
+        if (self._buffer is None and self._fault_filter is None
+                and not self.measure_wire and not self._closed):
+            self.send_direct = self._network_send
+        else:
+            self.send_direct = None
 
     @property
     def node_ids(self) -> List[int]:
@@ -155,6 +176,7 @@ class SimulatorTransport(Transport):
         """Turn on (or replace) the per-destination batching policy."""
         self.batching = config
         self._buffer = BatchBuffer(config)
+        self._refresh_send_direct()
 
     @property
     def batch_buffer(self) -> Optional[BatchBuffer]:
@@ -171,6 +193,7 @@ class SimulatorTransport(Transport):
         protocols inherit every fault primitive through this one seam.
         """
         self._fault_filter = faults
+        self._refresh_send_direct()
 
     def set_timer(self, delay_ms: float, callback) -> Timer:
         """Schedule ``callback`` on the shared simulator's virtual clock."""
@@ -220,6 +243,7 @@ class SimulatorTransport(Transport):
             return
         self.flush_all()
         self._closed = True
+        self._refresh_send_direct()
 
     def _flush_destination(self, dst: int) -> None:
         """Send the buffered batch for ``dst`` (if any) as one wire message."""

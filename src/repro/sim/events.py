@@ -2,13 +2,22 @@
 
 An :class:`Event` is a callback scheduled at a virtual time.  The queue keys
 its heap with plain ``(time, priority, seq)`` tuples so that heap reordering
-happens entirely in C tuple comparisons (``seq`` is unique, so the
-:class:`Event` payload in the fourth slot is never compared).  Simultaneous
-events are processed in a deterministic order: by priority, then FIFO.
+happens entirely in C tuple comparisons (``seq`` is unique, so the payload
+slots after it are never compared).  Simultaneous events are processed in a
+deterministic order: by priority, then FIFO.
 
 Cancellation is lazy: :meth:`Event.cancel` only flips a flag, and cancelled
 events are skipped when they reach the heap head.  This keeps both scheduling
 and cancellation O(log n) / O(1) with no heap surgery.
+
+Two heap entry shapes coexist: :meth:`EventQueue.push` stores
+``(time, priority, seq, Event)`` and returns the cancellable handle, while
+:meth:`EventQueue.push_transient` stores ``(time, priority, seq, None,
+callback, args)`` with no :class:`Event` allocation at all.  The transient
+shape exists for the two per-message hot paths (network delivery and CPU
+dispatch), which schedule two events per simulated message and never cancel
+them; mixed entry sizes are safe because ``seq`` is unique, so tuple
+comparison never reaches the differing tails.
 """
 
 from __future__ import annotations
@@ -79,12 +88,31 @@ class EventQueue:
         self._live += 1
         return event
 
+    def push_transient(self, time: float, callback: Callable[..., None],
+                       priority: int = 0, args: Tuple = ()) -> None:
+        """Schedule a callback that can never be cancelled, with no handle.
+
+        Skips the :class:`Event` allocation entirely — this is the variant the
+        per-message hot paths use (two pushes per simulated message).
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, None, callback, args))
+        self._live += 1
+
     def pop(self) -> Optional[Event]:
-        """Return the next non-cancelled event, or ``None`` if the queue is empty."""
+        """Return the next non-cancelled event, or ``None`` if the queue is empty.
+
+        Transient entries are wrapped in a fresh :class:`Event` so callers of
+        this (cold) method see one uniform type; the run loops bypass it.
+        """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[3]
+            entry = heapq.heappop(heap)
             self._live -= 1
+            event = entry[3]
+            if event is None:
+                return Event(entry[0], entry[1], entry[2], entry[4], entry[5])
             if event.cancelled:
                 continue
             return event
@@ -93,7 +121,10 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event without removing it."""
         heap = self._heap
-        while heap and heap[0][3].cancelled:
+        while heap:
+            event = heap[0][3]
+            if event is None or not event.cancelled:
+                break
             heapq.heappop(heap)
             self._live -= 1
         if not heap:

@@ -97,12 +97,14 @@ class Network:
         # call per message on the jitter/loss path).
         self._gauss = self._rng.gauss
         self._random = self._rng.random
+        self._node_ids_cache: Optional[list] = None
 
     def register(self, node: "NodeLike") -> None:
         """Attach a node so it can send and receive messages."""
         if node.node_id in self._nodes:
             raise ValueError(f"node {node.node_id} already registered")
         self._nodes[node.node_id] = node
+        self._node_ids_cache = None
 
     def create_transport(self, node: "NodeLike", batching=None):
         """Build the transport a node hosted on this network should use.
@@ -124,8 +126,15 @@ class Network:
 
     @property
     def node_ids(self) -> list:
-        """All registered node ids, in registration order."""
-        return list(self._nodes.keys())
+        """All registered node ids, in registration order (shared; do not mutate).
+
+        Broadcasts read this once per fan-out, so the list is cached and
+        invalidated on registration rather than rebuilt per call.
+        """
+        ids = self._node_ids_cache
+        if ids is None:
+            ids = self._node_ids_cache = list(self._nodes.keys())
+        return ids
 
     def set_delay_override(self, fn: Optional[Callable[[int, int, float], float]]) -> None:
         """Install a hook ``(src, dst, nominal_delay) -> delay`` for experiments."""
@@ -157,7 +166,10 @@ class Network:
 
     def delay(self, src: int, dst: int) -> float:
         """Sample the one-way delay for a message from ``src`` to ``dst``."""
-        nominal = self._nominal(src, dst)
+        # _nominal inlined (one call per message).
+        nominal = self._nominal_delay.get((src, dst))
+        if nominal is None:
+            nominal = self._nominal(src, dst)
         if self._delay_override is not None:
             nominal = self._delay_override(src, dst, nominal)
         jitter = self.config.jitter_ms
@@ -188,10 +200,13 @@ class Network:
             return
 
         # The send time rides along so delivery can tell whether the
-        # destination crashed while the message was in flight (sim._now is
-        # read directly: this path runs once per message).
-        self.sim.schedule(self.delay(src, dst), self._deliver,
-                          args=(src, dst, message, self.sim._now))
+        # destination crashed while the message was in flight (sim._now and
+        # the transient queue are used directly: this path runs once per
+        # message, and delivery events are never cancelled).
+        sim = self.sim
+        now = sim._now
+        sim._queue.push_transient(now + self.delay(src, dst), self._deliver,
+                                  args=(src, dst, message, now))
 
     def _deliver(self, src: int, dst: int, message: object, sent_at: float) -> None:
         """Hand a message that survived the network to its destination node.

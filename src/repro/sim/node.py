@@ -59,6 +59,10 @@ class Node:
         self._cpu_free_at = 0.0
         self.cpu_busy_ms = 0.0
         self.messages_handled = 0
+        # Resolved once: only the simulator clock exposes an event queue for
+        # the handle-free dispatch push; other Clock backends (WallClock)
+        # dispatch through the portable schedule() path.
+        self._dispatch_queue = getattr(sim, "_queue", None)
         if transport is None:
             # The network acts as the transport factory: the simulated
             # Network hands out SimulatorTransports, a socket-world peer map
@@ -86,7 +90,12 @@ class Node:
         """
         if self.crashed:
             return
-        self.transport.send(dst, message, size_bytes=size_bytes)
+        transport = self.transport
+        direct = transport.send_direct
+        if direct is not None:
+            direct(self.node_id, dst, message, size_bytes=size_bytes)
+            return
+        transport.send(dst, message, size_bytes=size_bytes)
 
     def enable_batching(self, config: BatchingConfig) -> None:
         """Turn on per-destination batching for this node's outgoing messages."""
@@ -100,8 +109,16 @@ class Node:
         """Send a message to every node in the cluster."""
         if self.crashed:
             return
+        me = self.node_id
+        direct = self.transport.send_direct
+        if direct is not None:
+            for dst in self.network.node_ids:
+                if dst == me and not include_self:
+                    continue
+                direct(me, dst, message, size_bytes=size_bytes)
+            return
         for dst in self.network.node_ids:
-            if dst == self.node_id and not include_self:
+            if dst == me and not include_self:
                 continue
             self.send(dst, message, size_bytes=size_bytes)
 
@@ -125,14 +142,27 @@ class Node:
                         for inner in message.messages)
             dispatch, payload = self._dispatch_batch, message.messages
         else:
-            cost = self.cost_model.message_cost(message, local=local)
+            # message_cost inlined: this branch runs once per simulated
+            # message, and the model is three attribute reads.
+            cost_model = self.cost_model
+            cost = cost_model.per_type_ms.get(type(message).__name__,
+                                              cost_model.default_cost_ms)
+            if local:
+                cost *= cost_model.self_message_factor
             dispatch, payload = self._dispatch_one, message
         now = sim.now
         start = now if now > self._cpu_free_at else self._cpu_free_at
         finish = start + cost
         self._cpu_free_at = finish
         self.cpu_busy_ms += cost
-        sim.schedule(finish - now, dispatch, args=(src, payload))
+        # Dispatch events are never cancelled; the handle-free push skips an
+        # Event allocation per message.  ``now + (finish - now)`` preserves
+        # the exact float the delay-based schedule() produced.
+        queue = self._dispatch_queue
+        if queue is not None:
+            queue.push_transient(now + (finish - now), dispatch, args=(src, payload))
+        else:
+            sim.schedule(finish - now, lambda: dispatch(src, payload))
 
     def _dispatch_one(self, src: int, message: object) -> None:
         """Run one queued message through the protocol handler."""

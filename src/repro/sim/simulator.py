@@ -143,17 +143,25 @@ class Simulator:
         executed = 0
         try:
             while heap:
-                time, _priority, _seq, event = heap[0]
+                entry = heap[0]
+                time = entry[0]
                 if until is not None and time > until:
                     break
                 heappop(heap)
                 queue._live -= 1
-                if event.cancelled:
-                    continue
+                event = entry[3]
+                if event is None:
+                    callback = entry[4]
+                    args = entry[5]
+                else:
+                    if event.cancelled:
+                        continue
+                    callback = event.callback
+                    args = event.args
                 self._now = time
                 self._steps += 1
                 executed += 1
-                event.callback(*event.args)
+                callback(*args)
                 if self._max_steps is not None:
                     self._check_max_steps()
         finally:
@@ -193,18 +201,26 @@ class Simulator:
         since_check = 0
         try:
             while heap:
-                time, _priority, _seq, event = heap[0]
+                entry = heap[0]
+                time = entry[0]
                 if deadline is not None and time > deadline:
                     self._now = deadline
                     return predicate()
                 heappop(heap)
                 queue._live -= 1
-                if event.cancelled:
-                    continue
+                event = entry[3]
+                if event is None:
+                    callback = entry[4]
+                    args = entry[5]
+                else:
+                    if event.cancelled:
+                        continue
+                    callback = event.callback
+                    args = event.args
                 self._now = time
                 self._steps += 1
                 executed += 1
-                event.callback(*event.args)
+                callback(*args)
                 if self._max_steps is not None:
                     self._check_max_steps()
                 since_check += 1

@@ -229,6 +229,36 @@ class TestOverloadReportCommands:
         assert "smoke" in report
         assert "offered/s" in report
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.number == "9"
+        assert args.top == 20
+        assert args.sort == "cumulative"
+        assert args.cells is None
+
+    def test_profile_quick_single_cell(self, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        code = main(["profile", "6", "--quick", "--cells", "fig6/caesar/*",
+                     "--top", "5", "--store", str(store)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "profiled figure6_latency_vs_conflicts" in output
+        assert "simulator events" in output
+        assert "decision path (repro/core/*)" in output
+        assert "history.py:update" in output
+        assert "[stored as run 1" in output
+        assert store.exists()
+
+    def test_history_gc_flag_parses_and_runs(self, capsys):
+        args = build_parser().parse_args(["run", "--history-gc", "250"])
+        assert args.history_gc == 250.0
+        code = main(["run", "--protocol", "caesar", "--conflicts", "30",
+                     "--clients", "2", "--duration", "1200", "--history-gc", "200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "history GC:" in output
+        assert "consistency violations: 0" in output
+
     def test_overload_json_output(self, capsys):
         code = main(["overload", "--offered", "120", "--duration", "400",
                      "--warmup-ms", "100", "--clients", "2", "--json"])

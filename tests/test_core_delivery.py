@@ -83,7 +83,7 @@ class TestBasicDelivery:
         harness.stable(second, ts(5), predecessors={first.command_id})
         # Simulate the predecessor being garbage-collected / delivered elsewhere:
         entry = harness.history.get(second.command_id)
-        entry.predecessors.clear()
+        entry.pred_mask = 0
         delivered = harness.manager.retry_pending()
         assert [c.command_id for c in delivered] == [second.command_id]
 
