@@ -20,7 +20,11 @@ The four entry points:
   (paired with :func:`run_loadgen` to drive it);
 * :func:`run_overload_sweep` — offered load swept past the saturation knee
   on either substrate, with optional admission control
-  (:func:`admission_policy`) and persistence into a :class:`ResultsStore`.
+  (:func:`admission_policy`) and persistence into a :class:`ResultsStore`;
+* :func:`run_sharded` — a hash-partitioned keyspace over S independent
+  consensus groups (:class:`ShardedConfig`), on generator-built WAN
+  topologies (:func:`wan_topology`), optionally under zipfian skew
+  (:class:`ZipfWorkloadConfig`).
 
 Each entry point has a config dataclass (``ExperimentConfig``,
 ``ChaosConfig``, ``ServeConfig``, ``LoadgenConfig``, plus the underlying
@@ -42,6 +46,8 @@ from repro.harness.experiment import (ExperimentConfig, ExperimentResult,
                                       run_experiment)
 from repro.harness.overload import (LoadPoint, OverloadConfig, OverloadResult,
                                     run_overload_sweep, store_overload_result)
+from repro.harness.shard import (CrossShardCoordinator, ShardedConfig,
+                                 ShardedResult, ShardRouter, run_sharded)
 from repro.harness.sweep import SweepCell, SweepResult, run_sweep, sweep_cell
 from repro.metrics.report import render_report
 from repro.metrics.store import ResultsStore, RunRecord, current_git_commit
@@ -52,7 +58,9 @@ from repro.net.replica import ReplicaConfig, ReplicaServer, serve_replica
 from repro.runtime.admission import (AdmissionPolicy, InflightLimit, NoAdmission,
                                      QueueDeadline, admission_policy)
 from repro.sim.network import NetworkConfig
-from repro.workload.generator import WorkloadConfig
+from repro.sim.topology import (Topology, custom_topology, ec2_five_sites,
+                                wan_topology, with_replicas_per_site)
+from repro.workload.generator import WorkloadConfig, ZipfWorkloadConfig
 
 __all__ = [
     # entry points
@@ -63,12 +71,15 @@ __all__ = [
     "run_loadgen",
     "serve_replica",
     "run_overload_sweep",
+    "run_sharded",
     # configs
     "ExperimentConfig",
     "ChaosConfig",
     "ClusterConfig",
     "NetworkConfig",
     "WorkloadConfig",
+    "ZipfWorkloadConfig",
+    "ShardedConfig",
     "ServeConfig",
     "LoadgenConfig",
     "ReplicaConfig",
@@ -83,6 +94,14 @@ __all__ = [
     "LocalCluster",
     "ReplicaServer",
     "Cluster",
+    "ShardedResult",
+    "ShardRouter",
+    "CrossShardCoordinator",
+    "Topology",
+    "ec2_five_sites",
+    "custom_topology",
+    "wan_topology",
+    "with_replicas_per_site",
     "Command",
     "CommandResult",
     "PROTOCOLS",

@@ -9,6 +9,7 @@ deprecated alias)::
     repro figure 9 --quick
     repro sweep 9 --workers 4
     repro sweep all --workers auto --quick
+    repro shard --shards 1 2 4 --skew 0 0.99 --sites 20
     repro chaos --protocol caesar --nemesis minority-partition --seed 3
     repro chaos --matrix --quick
     repro serve --protocol caesar --replicas 3
@@ -56,6 +57,7 @@ FIGURE_DRIVERS = {
     "11": figures.figure11_breakdown,
     "12": figures.figure12_failure_timeline,
     "ablation": figures.ablation_wait_condition,
+    "shard": figures.shard_scaling,
 }
 
 #: Scaled-down parameters used with ``--quick`` so every figure finishes fast.
@@ -75,6 +77,8 @@ QUICK_OVERRIDES = {
     "12": dict(clients_per_site=10, crash_at_ms=5000.0, total_ms=12000.0),
     "ablation": dict(conflict_rates=(0.1, 0.3), clients_per_site=10, duration_ms=2500.0,
                      warmup_ms=500.0),
+    "shard": dict(shard_counts=(1, 2), skews=(0.0, 1.2), sites=6, replicas_per_site=1,
+                  clients=4, commands_per_client=3, key_space=64, hot_keys=4),
 }
 
 
@@ -208,6 +212,38 @@ def build_parser() -> argparse.ArgumentParser:
                               help="omit wall-clock fields from BENCH records so identical "
                                    "sweeps serialize byte-identically")
     add_store_flags(sweep_parser)
+
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="run the sharded-keyspace study: protocol x shards x zipf skew "
+             "over independent consensus groups (exit code 1 unless every "
+             "command decided with 0 conflict-order violations)",
+        parents=[shared_flags(protocol="caesar", seed=21)])
+    shard_parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4],
+                              metavar="N", help="shard counts to sweep")
+    shard_parser.add_argument("--skew", type=float, nargs="+", default=[0.0, 0.99],
+                              metavar="S",
+                              help="zipf exponents to sweep (0 = uniform)")
+    shard_parser.add_argument("--sites", type=int, default=20,
+                              help="WAN sites per consensus group")
+    shard_parser.add_argument("--replicas-per-site", type=int, default=1,
+                              help="co-located replicas per site (group size = "
+                                   "sites x this)")
+    shard_parser.add_argument("--clients", type=int, default=8,
+                              help="clients whose streams are split across shards")
+    shard_parser.add_argument("--commands", type=int, default=4,
+                              help="commands per client stream")
+    shard_parser.add_argument("--key-space", type=int, default=1000,
+                              help="distinct keys in the zipf key space")
+    shard_parser.add_argument("--hot-keys", type=int, default=10,
+                              help="size of the hot-key pool (reporting only)")
+    shard_parser.add_argument("--workers", default=None,
+                              help="worker processes for the sweep grid: a count, or "
+                                   "'auto' (default: $REPRO_SWEEP_WORKERS, else serial)")
+    shard_parser.add_argument("--serial", action="store_true",
+                              help="force serial execution (same output bytes as any "
+                                   "--workers value)")
+    add_store_flags(shard_parser, label="shard")
 
     chaos_parser = subparsers.add_parser(
         "chaos",
@@ -546,6 +582,45 @@ def _sweep(args: argparse.Namespace) -> str:
     return "\n\n".join(outputs)
 
 
+def _shard(args: argparse.Namespace) -> tuple:
+    """Run the sharded-keyspace study; returns ``(output, exit_code)``.
+
+    Exit code 1 unless every submitted command was decided on every live
+    replica of its shard and no shard saw a conflict-order violation — the
+    same hard gate the sharded CI smoke relies on.
+    """
+    result = figures.shard_scaling(
+        protocols=(args.protocol,), shard_counts=tuple(args.shards),
+        skews=tuple(args.skew), sites=args.sites,
+        replicas_per_site=args.replicas_per_site, clients=args.clients,
+        commands_per_client=args.commands, key_space=args.key_space,
+        hot_keys=args.hot_keys, seed=args.seed, workers=args.workers,
+        serial=args.serial)
+    violations = result.extra["total_violations"]
+    undecided = result.extra["total_undecided"]
+    lines = [result.table, "",
+             f"conflict-order violations: {violations}",
+             f"undecided commands:        {undecided}"]
+    store = _open_store(args)
+    if store is not None:
+        with store:
+            run_id = store.record_run(
+                "sweep", args.label, protocol=args.protocol, substrate="sim",
+                seed=args.seed,
+                config={"shards": list(args.shards), "skew": list(args.skew),
+                        "sites": args.sites,
+                        "replicas_per_site": args.replicas_per_site,
+                        "clients": args.clients, "commands": args.commands},
+                metrics={"series": {label: {str(x): y for x, y in points.items()}
+                                    for label, points in result.series.items()},
+                         "total_violations": violations,
+                         "total_undecided": undecided})
+        lines.append(f"[stored as run {run_id} in {args.store}]")
+    ok = violations == 0 and undecided == 0
+    lines.append(f"verdict: {'PASS' if ok else 'FAIL'}")
+    return "\n".join(lines), 0 if ok else 1
+
+
 def _chaos_single(result) -> str:
     """Render one ChaosResult in full detail."""
     lines = [result.plan.describe(), ""]
@@ -843,6 +918,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _figure(args)
     elif args.command == "sweep":
         output = _sweep(args)
+    elif args.command == "shard":
+        output, code = _shard(args)
+        print(output)
+        return code
     elif args.command == "chaos":
         output, code = _chaos(args)
         print(output)

@@ -121,8 +121,16 @@ class Cluster:
         return self.replicas[node_id]
 
     def replica_at(self, site: str) -> ConsensusReplica:
-        """Replica hosted at the named site."""
+        """The single replica hosted at the named site.
+
+        Raises ``ValueError`` when the site hosts several replicas (see
+        :meth:`Topology.index_of`); use :meth:`replicas_at` in that case.
+        """
         return self.replicas[self.topology.index_of(site)]
+
+    def replicas_at(self, site: str) -> List[ConsensusReplica]:
+        """All replicas hosted at the named site (empty when unknown)."""
+        return [self.replicas[index] for index in self.topology.indices_of(site)]
 
     def start(self) -> None:
         """Start per-replica background machinery (failure detectors etc.)."""

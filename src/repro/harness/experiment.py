@@ -10,19 +10,19 @@ counts, wait times, per-phase breakdowns) and a consistency check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.consensus.interface import DecisionKind
 from repro.core.config import CaesarConfig
 from repro.harness.cluster import Cluster, ClusterConfig, build_cluster
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.stats import LatencySummary
+from repro.metrics.stats import LatencySummary, summarize_latencies
 from repro.sim.batching import BatchingConfig
 from repro.sim.costs import CostModel
 from repro.sim.network import NetworkConfig
 from repro.sim.topology import Topology
 from repro.workload.clients import ClientPool, ClosedLoopClient, OpenLoopClient
-from repro.workload.generator import ConflictWorkload, WorkloadConfig
+from repro.workload.generator import WorkloadConfig, build_workload
 
 
 @dataclass
@@ -182,8 +182,8 @@ def attach_clients(cluster: Cluster, config: ExperimentConfig,
     for replica in cluster.replicas:
         for _ in range(config.clients_per_site):
             rng = cluster.sim.rng.fork(f"client-{client_id}")
-            workload = ConflictWorkload(client_id=client_id, origin=replica.node_id,
-                                        config=workload_config, rng=rng)
+            workload = build_workload(client_id=client_id, origin=replica.node_id,
+                                      config=workload_config, rng=rng)
             if config.open_loop:
                 fallbacks = [other for other in cluster.replicas
                              if other.node_id != replica.node_id]
@@ -198,6 +198,21 @@ def attach_clients(cluster: Cluster, config: ExperimentConfig,
             pool.add(client)
             client_id += 1
     return pool
+
+
+def per_site_latency_summaries(topology: Topology,
+                               metrics: MetricsCollector) -> Dict[str, LatencySummary]:
+    """Latency summary per *site*, aggregating all nodes hosted there.
+
+    With ``replicas_per_site > 1`` several origins map to one site; their
+    samples are pooled (in node-id order, so the result is deterministic)
+    before summarizing — a per-origin summary per site would silently keep
+    only the last node's numbers.
+    """
+    by_site: Dict[str, List[float]] = {}
+    for node_id in sorted({sample.origin for sample in metrics.samples}):
+        by_site.setdefault(topology.site_of(node_id), []).extend(metrics.latencies(node_id))
+    return {site: summarize_latencies(values) for site, values in by_site.items()}
 
 
 def summarize_experiment(result: ExperimentResult) -> Dict[str, object]:
@@ -241,9 +256,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.drain_ms > 0:
         cluster.run(config.drain_ms)
 
-    per_site: Dict[str, LatencySummary] = {}
-    for node_id, summary in metrics.per_origin_summaries().items():
-        per_site[cluster.topology.site_of(node_id)] = summary
+    per_site = per_site_latency_summaries(cluster.topology, metrics)
 
     fast = 0
     slow = 0

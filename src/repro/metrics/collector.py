@@ -78,6 +78,27 @@ class MetricsCollector:
                 result[origin] = summary
         return result
 
+    def per_key_counts(self) -> Dict[str, int]:
+        """Number of recorded commands per key, in first-appearance order."""
+        counts: Dict[str, int] = {}
+        for sample in self.samples:
+            counts[sample.key] = counts.get(sample.key, 0) + 1
+        return counts
+
+    def conflict_rate(self) -> float:
+        """Fraction of recorded commands whose key was touched more than once.
+
+        The workloads are write-heavy, so two commands on the same key
+        conflict regardless of which client issued them; this measures how
+        contended the keyspace a collector observed actually was (the
+        sharding study reports it per shard).
+        """
+        if not self.samples:
+            return 0.0
+        counts = self.per_key_counts()
+        contended = sum(count for count in counts.values() if count > 1)
+        return contended / len(self.samples)
+
     def throughput(self, duration_ms: float) -> float:
         """Commands per second completed over ``duration_ms`` of measured time."""
         if duration_ms <= 0:

@@ -6,12 +6,20 @@ times between EU and US nodes are all below 100 ms and that Mumbai sees
 186 ms to Virginia, 301 ms to Ohio, 112 ms to Frankfurt and 122 ms to
 Ireland.  :func:`ec2_five_sites` encodes that matrix (with typical values for
 the pairs the paper only bounds).
+
+Beyond the paper's matrix, :func:`wan_topology` generates WAN-scale
+topologies (tens of sites grouped into regions) and
+:func:`with_replicas_per_site` expands any topology to several co-located
+replicas per site, so clusters can grow to 100+ nodes without hand-writing
+RTT matrices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.random import DeterministicRandom, derive_seed
 
 
 @dataclass
@@ -20,11 +28,14 @@ class Topology:
 
     Attributes:
         sites: ordered site names; node ``i`` of a cluster lives at
-            ``sites[i]``.
+            ``sites[i]``.  A site name may appear several times when multiple
+            replicas are co-located (see :func:`with_replicas_per_site`).
         rtt_ms: symmetric map ``(site_a, site_b) -> round-trip time`` in
             milliseconds.  The one-way delay used by the network is half the
-            round trip.
-        local_delivery_ms: delay for a node sending a message to itself.
+            round trip.  The mapping is copied defensively: the caller's dict
+            is never mutated with mirrored keys or self-RTT defaults.
+        local_delivery_ms: delay for a node sending a message to itself, and
+            the one-way delay between distinct replicas of the same site.
     """
 
     sites: List[str]
@@ -32,15 +43,28 @@ class Topology:
     local_delivery_ms: float = 0.05
 
     def __post_init__(self) -> None:
-        for (a, b), rtt in list(self.rtt_ms.items()):
-            self.rtt_ms[(b, a)] = rtt
+        # Never mutate the mapping the caller handed in: mirror keys and
+        # self-RTT defaults belong to this instance only.
+        rtt = dict(self.rtt_ms)
+        for (a, b), value in self.rtt_ms.items():
+            mirrored = rtt.setdefault((b, a), value)
+            if mirrored != value:
+                raise ValueError(
+                    f"asymmetric rtt_ms: ({a!r}, {b!r})={value} but "
+                    f"({b!r}, {a!r})={mirrored}")
         for site in self.sites:
-            self.rtt_ms.setdefault((site, site), self.local_delivery_ms * 2)
+            rtt.setdefault((site, site), self.local_delivery_ms * 2)
+        self.rtt_ms = rtt
 
     @property
     def size(self) -> int:
-        """Number of sites."""
+        """Number of nodes (one per entry of ``sites``)."""
         return len(self.sites)
+
+    @property
+    def site_names(self) -> List[str]:
+        """Distinct site names, in first-appearance order."""
+        return list(dict.fromkeys(self.sites))
 
     def rtt(self, a: int, b: int) -> float:
         """Round-trip time in ms between node indices ``a`` and ``b``."""
@@ -56,18 +80,36 @@ class Topology:
         """Name of the site hosting the given node index."""
         return self.sites[node_id]
 
+    def indices_of(self, site: str) -> List[int]:
+        """All node indices hosted at the named site (empty when unknown)."""
+        return [index for index, name in enumerate(self.sites) if name == site]
+
     def index_of(self, site: str) -> int:
-        """Node index of a named site."""
-        return self.sites.index(site)
+        """Node index of a named site hosting exactly one replica.
+
+        Raises ``ValueError`` for an unknown site, and also when the site
+        hosts more than one replica — silently returning the first index
+        would misattribute work once ``replicas_per_site > 1``; use
+        :meth:`indices_of` for multi-replica sites.
+        """
+        indices = self.indices_of(site)
+        if not indices:
+            raise ValueError(f"{site!r} is not in the topology")
+        if len(indices) > 1:
+            raise ValueError(f"site {site!r} hosts {len(indices)} replicas "
+                             f"(nodes {indices}); use indices_of()")
+        return indices[0]
 
     def quorum_latency(self, origin: int, quorum_size: int) -> float:
         """Round-trip time needed for ``origin`` to hear from a quorum.
 
-        This is the RTT to the ``quorum_size``-th closest node (counting the
-        origin itself as distance zero).  It is the analytic lower bound used
-        in tests to sanity-check simulated latencies.
+        This is the RTT to the ``quorum_size``-th closest node, counting the
+        origin itself as distance zero (its vote needs no network round
+        trip).  It is the analytic lower bound used in tests to sanity-check
+        simulated latencies.
         """
-        rtts = sorted(self.rtt(origin, other) for other in range(self.size))
+        rtts = sorted(0.0 if other == origin else self.rtt(origin, other)
+                      for other in range(self.size))
         return rtts[quorum_size - 1]
 
     def describe(self) -> str:
@@ -131,16 +173,100 @@ def custom_topology(site_names: Sequence[str], rtt_matrix: Iterable[Iterable[flo
 
     Args:
         site_names: names of the sites, one per row of the matrix.
-        rtt_matrix: square matrix of round-trip times; only the upper triangle
-            is read, the matrix is assumed symmetric.
+        rtt_matrix: square matrix of round-trip times.  The matrix must be
+            symmetric with a zero diagonal; an asymmetric matrix or a
+            non-zero diagonal raises ``ValueError`` instead of silently
+            dropping half the data (self-delay comes from
+            ``local_delivery_ms``, never from the matrix).
         local_delivery_ms: self-delivery delay.
     """
     names = list(site_names)
     matrix = [list(row) for row in rtt_matrix]
     if len(matrix) != len(names) or any(len(row) != len(names) for row in matrix):
         raise ValueError("rtt_matrix must be square and match site_names")
+    for i in range(len(names)):
+        if matrix[i][i] != 0:
+            raise ValueError(
+                f"rtt_matrix diagonal must be zero (self-delay comes from "
+                f"local_delivery_ms), got {matrix[i][i]!r} for {names[i]!r}")
+        for j in range(i + 1, len(names)):
+            if matrix[i][j] != matrix[j][i]:
+                raise ValueError(
+                    f"rtt_matrix must be symmetric: [{i}][{j}]={matrix[i][j]!r} "
+                    f"but [{j}][{i}]={matrix[j][i]!r} "
+                    f"({names[i]!r} <-> {names[j]!r})")
     rtt = {}
     for i in range(len(names)):
         for j in range(i + 1, len(names)):
             rtt[(names[i], names[j])] = float(matrix[i][j])
     return Topology(sites=names, rtt_ms=rtt, local_delivery_ms=local_delivery_ms)
+
+
+def with_replicas_per_site(topology: Topology, replicas_per_site: int) -> Topology:
+    """Expand a topology to several co-located replicas per site.
+
+    Node ordering is round-robin over the sites (``s0 s1 ... s0 s1 ...``), so
+    any prefix of the node list still spans every geography.  Replicas of the
+    same site talk to each other at ``2 x local_delivery_ms`` round trip —
+    the same self-RTT every topology already defines.
+    """
+    if replicas_per_site < 1:
+        raise ValueError("replicas_per_site must be >= 1")
+    if replicas_per_site == 1:
+        return topology
+    base = topology.site_names
+    if len(base) != len(topology.sites):
+        raise ValueError("topology already has multiple replicas per site")
+    sites = [site for _ in range(replicas_per_site) for site in base]
+    return Topology(sites=sites, rtt_ms=dict(topology.rtt_ms),
+                    local_delivery_ms=topology.local_delivery_ms)
+
+
+def wan_topology(sites: int = 20, regions: int = 5, replicas_per_site: int = 1,
+                 intra_region_rtt_ms: float = 4.0, inter_region_base_ms: float = 40.0,
+                 inter_region_step_ms: float = 45.0, jitter_ms: float = 8.0,
+                 seed: int = 0, local_delivery_ms: float = 0.05) -> Topology:
+    """Generate a WAN-scale topology: ``sites`` sites grouped into ``regions``.
+
+    Regions sit on a ring (think continents around the globe); the RTT
+    between two sites is a base plus a step per ring hop between their
+    regions, plus a deterministic per-pair wobble so no two links are
+    exactly alike.  Same-region pairs get ``intra_region_rtt_ms``.  The
+    wobble is drawn from a :class:`DeterministicRandom` stream derived from
+    ``seed`` with CRC32, so the same arguments produce byte-identical
+    topologies in every process.
+
+    Args:
+        sites: number of distinct sites (site ``i`` lives in region
+            ``i % regions``).
+        regions: number of regions on the ring.
+        replicas_per_site: co-located replicas per site; the returned
+            topology has ``sites * replicas_per_site`` nodes (see
+            :func:`with_replicas_per_site`).
+        intra_region_rtt_ms: RTT between distinct sites of one region.
+        inter_region_base_ms: RTT floor between sites in different regions.
+        inter_region_step_ms: RTT added per ring hop between the regions.
+        jitter_ms: half-width of the deterministic per-pair wobble.
+        seed: stream seed for the wobble.
+        local_delivery_ms: self-delivery delay.
+    """
+    if sites < 2:
+        raise ValueError("a WAN topology needs at least 2 sites")
+    if regions < 1:
+        raise ValueError("regions must be >= 1")
+    regions = min(regions, sites)
+    names = [f"r{i % regions}-site{i // regions}" for i in range(sites)]
+    rng = DeterministicRandom(derive_seed(seed, ("wan-topology", sites, regions)))
+    rtt: Dict[Tuple[str, str], float] = {}
+    for i in range(sites):
+        for j in range(i + 1, sites):
+            hops = abs(i % regions - j % regions)
+            hops = min(hops, regions - hops)
+            if hops == 0:
+                nominal = intra_region_rtt_ms
+            else:
+                nominal = inter_region_base_ms + inter_region_step_ms * hops
+            wobble = rng.uniform(-jitter_ms, jitter_ms)
+            rtt[(names[i], names[j])] = round(max(nominal + wobble, 1.0), 3)
+    topology = Topology(sites=names, rtt_ms=rtt, local_delivery_ms=local_delivery_ms)
+    return with_replicas_per_site(topology, replicas_per_site)

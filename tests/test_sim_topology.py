@@ -6,10 +6,13 @@ import pytest
 
 from repro.sim.topology import (
     EC2_SITES,
+    Topology,
     custom_topology,
     ec2_five_sites,
     lan_topology,
     uniform_topology,
+    wan_topology,
+    with_replicas_per_site,
 )
 
 
@@ -57,6 +60,14 @@ class TestEc2Topology:
         # Fast quorum of 4 adds Frankfurt at 90ms.
         assert topology.quorum_latency(virginia, 4) == pytest.approx(90.0)
 
+    def test_quorum_latency_origin_is_distance_zero(self):
+        # Regression: the origin's own vote needs no network round trip, so a
+        # quorum of one costs exactly 0 ms — not the self-RTT
+        # (2 x local_delivery_ms) the old code charged.
+        topology = ec2_five_sites(local_delivery_ms=5.0)
+        for origin in range(topology.size):
+            assert topology.quorum_latency(origin, 1) == 0.0
+
     def test_describe_mentions_all_sites(self):
         text = ec2_five_sites().describe()
         for site in EC2_SITES:
@@ -88,3 +99,87 @@ class TestSyntheticTopologies:
     def test_index_of_unknown_site_raises(self):
         with pytest.raises(ValueError):
             uniform_topology(3).index_of("nowhere")
+
+    def test_custom_topology_asymmetric_matrix_raises(self):
+        # Regression: the lower triangle used to be silently dropped, so an
+        # asymmetric matrix was accepted and half the data ignored.
+        with pytest.raises(ValueError, match="symmetric"):
+            custom_topology(["a", "b"], [[0, 10], [99, 0]])
+
+    def test_custom_topology_nonzero_diagonal_raises(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            custom_topology(["a", "b"], [[5, 10], [10, 0]])
+
+
+class TestTopologyConstruction:
+    def test_post_init_does_not_mutate_caller_dict(self):
+        # Regression: mirrored (b, a) keys and self-RTT defaults used to be
+        # written into the dict the caller passed in.
+        rtt = {("a", "b"): 10.0}
+        topology = Topology(sites=["a", "b"], rtt_ms=rtt, local_delivery_ms=0.05)
+        assert rtt == {("a", "b"): 10.0}
+        assert topology.rtt_ms[("b", "a")] == 10.0
+        assert topology.rtt_ms[("a", "a")] == pytest.approx(0.1)
+
+    def test_conflicting_mirror_entries_raise(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            Topology(sites=["a", "b"], rtt_ms={("a", "b"): 10.0, ("b", "a"): 20.0})
+
+    def test_indices_of_lists_every_replica(self):
+        topology = Topology(sites=["a", "b", "a"], rtt_ms={("a", "b"): 10.0})
+        assert topology.indices_of("a") == [0, 2]
+        assert topology.indices_of("b") == [1]
+        assert topology.indices_of("nowhere") == []
+
+    def test_index_of_multi_replica_site_raises(self):
+        # Regression: index_of used to silently return the first replica.
+        topology = Topology(sites=["a", "b", "a"], rtt_ms={("a", "b"): 10.0})
+        with pytest.raises(ValueError, match="indices_of"):
+            topology.index_of("a")
+        assert topology.index_of("b") == 1
+
+
+class TestWanTopology:
+    def test_site_and_node_counts(self):
+        topology = wan_topology(sites=20)
+        assert topology.size == 20
+        assert len(topology.site_names) == 20
+
+    def test_symmetric_and_positive(self):
+        topology = wan_topology(sites=12, regions=4, seed=3)
+        for i in range(topology.size):
+            for j in range(topology.size):
+                assert topology.rtt(i, j) == topology.rtt(j, i)
+                if i != j:
+                    assert topology.rtt(i, j) >= 1.0
+
+    def test_same_region_cheaper_than_cross_region(self):
+        topology = wan_topology(sites=10, regions=5, intra_region_rtt_ms=4.0,
+                                inter_region_base_ms=60.0, jitter_ms=2.0)
+        # Sites 0 and 5 share region 0; sites 0 and 1 are one hop apart.
+        assert topology.rtt(0, 5) < topology.rtt(0, 1)
+
+    def test_deterministic_across_calls(self):
+        first = wan_topology(sites=15, regions=4, seed=9)
+        second = wan_topology(sites=15, regions=4, seed=9)
+        assert first.sites == second.sites
+        assert first.rtt_ms == second.rtt_ms
+
+    def test_replicas_per_site_expands_round_robin(self):
+        topology = wan_topology(sites=4, regions=2, replicas_per_site=3)
+        assert topology.size == 12
+        base = topology.site_names
+        assert topology.sites == base * 3
+        # Replicas of one site talk at the local self-RTT.
+        first_site = topology.sites[0]
+        a, b = topology.indices_of(first_site)[:2]
+        assert topology.rtt(a, b) == pytest.approx(topology.local_delivery_ms * 2)
+
+    def test_with_replicas_per_site_rejects_double_expansion(self):
+        expanded = with_replicas_per_site(uniform_topology(3), 2)
+        with pytest.raises(ValueError):
+            with_replicas_per_site(expanded, 2)
+
+    def test_with_replicas_per_site_identity(self):
+        topology = uniform_topology(3)
+        assert with_replicas_per_site(topology, 1) is topology

@@ -15,7 +15,13 @@ from repro.sim.random import DeterministicRandom
 from repro.sim.simulator import Simulator
 from repro.sim.topology import uniform_topology
 from repro.workload.clients import ClientPool, ClosedLoopClient, OpenLoopClient
-from repro.workload.generator import ConflictWorkload, WorkloadConfig
+from repro.workload.generator import (
+    ConflictWorkload,
+    WorkloadConfig,
+    ZipfWorkload,
+    ZipfWorkloadConfig,
+    build_workload,
+)
 
 
 class TestWorkloadConfig:
@@ -254,3 +260,62 @@ class TestClientPool:
         sim.run(until=400.0)
         assert pool.total_completed == sum(c.completed for c in pool.clients)
         assert pool.total_completed > 0
+
+
+class TestZipfWorkload:
+    def _workload(self, s: float, seed: int = 5, **config) -> ZipfWorkload:
+        defaults = dict(key_space=100, hot_keys=10)
+        defaults.update(config)
+        return ZipfWorkload(client_id=0, origin=0,
+                            config=ZipfWorkloadConfig(s=s, **defaults),
+                            rng=DeterministicRandom(seed))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfWorkloadConfig(s=-0.1)
+        with pytest.raises(ValueError):
+            ZipfWorkloadConfig(key_space=0)
+        with pytest.raises(ValueError):
+            ZipfWorkloadConfig(key_space=10, hot_keys=11)
+
+    def test_keys_stay_within_key_space(self):
+        workload = self._workload(s=1.2, key_space=30)
+        for _ in range(200):
+            command = workload.next_command()
+            assert command.key.startswith("zipf-")
+            assert 0 <= int(command.key.split("-")[1]) < 30
+
+    def test_same_seed_same_stream(self):
+        first = [self._workload(s=0.9).next_command() for _ in range(1)]
+        a = self._workload(s=0.9, seed=11)
+        b = self._workload(s=0.9, seed=11)
+        assert ([a.next_command() for _ in range(50)]
+                == [b.next_command() for _ in range(50)])
+        assert first  # silence "unused" while keeping the smoke draw
+
+    def test_skew_concentrates_traffic_on_hot_keys(self):
+        flat = self._workload(s=0.0)
+        skewed = self._workload(s=1.5)
+        for _ in range(400):
+            flat.next_command()
+            skewed.next_command()
+        # s=0 is uniform: ~10% of draws hit the 10-of-100 hot pool; s=1.5
+        # concentrates most of the mass there.
+        assert skewed.observed_hot_rate > flat.observed_hot_rate + 0.3
+        assert flat.observed_hot_rate < 0.3
+
+    def test_command_ids_are_sequential(self):
+        workload = self._workload(s=1.0)
+        ids = [workload.next_command().command_id for _ in range(5)]
+        assert ids == [(0, seq) for seq in range(5)]
+
+
+class TestBuildWorkload:
+    def test_dispatches_on_config_type(self):
+        rng = DeterministicRandom(1)
+        assert isinstance(build_workload(0, 0, WorkloadConfig(), rng), ConflictWorkload)
+        assert isinstance(build_workload(0, 0, ZipfWorkloadConfig(), rng), ZipfWorkload)
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(TypeError):
+            build_workload(0, 0, object(), DeterministicRandom(1))
